@@ -1,0 +1,88 @@
+// Command neutral-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	neutral-bench                       # every experiment, text tables
+//	neutral-bench -experiment fig09     # a single figure
+//	neutral-bench -scale full           # paper-scale native runs (slow)
+//	neutral-bench -markdown -o EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "neutral-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "", "run a single experiment (e.g. fig09); empty runs all")
+		scale      = flag.String("scale", "standard", "native run scale: quick, standard or full")
+		markdown   = flag.Bool("markdown", false, "render Markdown instead of text tables")
+		outPath    = flag.String("o", "", "write output to a file instead of stdout")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Println(e.ID)
+		}
+		return nil
+	}
+
+	sc, err := harness.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	opt := harness.Options{Scale: sc}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	exps := harness.Experiments()
+	if *experiment != "" {
+		e, err := harness.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	if *markdown {
+		fmt.Fprintf(out, "# Reproduced evaluation (%s scale, generated %s)\n\n",
+			*scale, time.Now().UTC().Format("2006-01-02"))
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fig, err := e.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *markdown {
+			fig.RenderMarkdown(out)
+		} else {
+			fig.Render(out)
+		}
+		fmt.Fprintf(os.Stderr, "%-12s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Command neutral-sweep runs native parameter sweeps of the mini-app on
+// the host and emits CSV, for plotting scaling and configuration studies.
+//
+// Usage:
+//
+//	neutral-sweep -sweep threads -problem csp -max 16
+//	neutral-sweep -sweep schedule -problem csp
+//	neutral-sweep -sweep layout
+//	neutral-sweep -sweep tally -problem scatter
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "neutral-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sweep   = flag.String("sweep", "threads", "sweep kind: threads, schedule, layout or tally")
+		problem = flag.String("problem", "csp", "test problem")
+		nx      = flag.Int("nx", 512, "mesh resolution")
+		parts   = flag.Int("particles", 2000, "particle count")
+		maxT    = flag.Int("max", 0, "max thread count for the threads sweep (0 = GOMAXPROCS)")
+		scheme  = flag.String("scheme", "over-particles", "parallelisation scheme")
+	)
+	flag.Parse()
+
+	p, err := mesh.ParseProblem(*problem)
+	if err != nil {
+		return err
+	}
+	base := core.Default(p)
+	base.NX, base.NY = *nx, *nx
+	base.Particles = *parts
+	if base.Scheme, err = core.ParseScheme(*scheme); err != nil {
+		return err
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *sweep {
+	case "threads":
+		max := *maxT
+		if max <= 0 {
+			max = runtime.GOMAXPROCS(0)
+		}
+		if err := w.Write([]string{"threads", "seconds", "speedup", "efficiency", "imbalance"}); err != nil {
+			return err
+		}
+		var t1 float64
+		for t := 1; t <= max; t++ {
+			cfg := base
+			cfg.Threads = t
+			res, err := core.Run(cfg)
+			if err != nil {
+				return err
+			}
+			s := res.Wall.Seconds()
+			if t == 1 {
+				t1 = s
+			}
+			rec := []string{
+				strconv.Itoa(t),
+				fmt.Sprintf("%.6f", s),
+				fmt.Sprintf("%.3f", t1/s),
+				fmt.Sprintf("%.3f", t1/s/float64(t)),
+				fmt.Sprintf("%.3f", res.LoadImbalance()),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+			w.Flush()
+		}
+
+	case "schedule":
+		if err := w.Write([]string{"schedule", "seconds", "imbalance"}); err != nil {
+			return err
+		}
+		for _, s := range []core.Schedule{
+			{Kind: core.ScheduleStatic},
+			{Kind: core.ScheduleStaticChunk, Chunk: 7},
+			{Kind: core.ScheduleDynamic, Chunk: 1},
+			{Kind: core.ScheduleDynamic, Chunk: 7},
+			{Kind: core.ScheduleDynamic, Chunk: 64},
+			{Kind: core.ScheduleGuided, Chunk: 7},
+		} {
+			cfg := base
+			cfg.Schedule = s
+			res, err := core.Run(cfg)
+			if err != nil {
+				return err
+			}
+			if err := w.Write([]string{s.String(),
+				fmt.Sprintf("%.6f", res.Wall.Seconds()),
+				fmt.Sprintf("%.3f", res.LoadImbalance())}); err != nil {
+				return err
+			}
+		}
+
+	case "layout":
+		if err := w.Write([]string{"problem", "layout", "seconds"}); err != nil {
+			return err
+		}
+		for _, prob := range []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP} {
+			for _, l := range []particle.Layout{particle.AoS, particle.SoA} {
+				cfg := base
+				cfg.Problem = prob
+				cfg.Layout = l
+				res, err := core.Run(cfg)
+				if err != nil {
+					return err
+				}
+				if err := w.Write([]string{prob.String(), l.String(),
+					fmt.Sprintf("%.6f", res.Wall.Seconds())}); err != nil {
+					return err
+				}
+			}
+		}
+
+	case "tally":
+		if err := w.Write([]string{"tally", "seconds", "conflicts"}); err != nil {
+			return err
+		}
+		for _, m := range []tally.Mode{tally.ModeAtomic, tally.ModePrivate, tally.ModeNull} {
+			cfg := base
+			cfg.Tally = m
+			res, err := core.Run(cfg)
+			if err != nil {
+				return err
+			}
+			if err := w.Write([]string{m.String(),
+				fmt.Sprintf("%.6f", res.Wall.Seconds()),
+				strconv.FormatUint(res.AtomicConflicts, 10)}); err != nil {
+				return err
+			}
+		}
+
+	default:
+		return fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Command neutral runs a single simulation of the neutral mini-app and
+// reports timings, event counters and the conservation audit.
+//
+// Usage:
+//
+//	neutral -problem csp -scheme over-particles -threads 8
+//	neutral -problem scatter -particles 100000 -nx 1024 -tally private
+//	neutral -problem stream -paper        # full paper-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "neutral:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		problem  = flag.String("problem", "csp", "test problem: stream, scatter or csp")
+		scheme   = flag.String("scheme", "over-particles", "parallelisation scheme: over-particles or over-events")
+		threads  = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		nx       = flag.Int("nx", 0, "mesh resolution override (0 = problem default)")
+		parts    = flag.Int("particles", 0, "particle count override")
+		steps    = flag.Int("steps", 1, "timesteps")
+		seed     = flag.Uint64("seed", 9271, "random seed")
+		schedule = flag.String("schedule", "static", "schedule: static, static-chunk, dynamic, guided")
+		chunk    = flag.Int("chunk", 0, "schedule chunk size")
+		layout   = flag.String("layout", "aos", "particle layout: aos or soa")
+		tmode    = flag.String("tally", "atomic", "tally: atomic, private, serial or null")
+		merge    = flag.Bool("merge-per-step", false, "merge privatised tally every timestep")
+		paper    = flag.Bool("paper", false, "use full paper scale (4000^2 mesh, 1e6/1e7 particles)")
+		cells    = flag.Bool("print-tally", false, "print a coarse view of the energy deposition")
+	)
+	flag.Parse()
+
+	p, err := mesh.ParseProblem(*problem)
+	if err != nil {
+		return err
+	}
+	cfg := core.Default(p)
+	if *paper {
+		cfg = core.Paper(p)
+	}
+	if cfg.Scheme, err = core.ParseScheme(*scheme); err != nil {
+		return err
+	}
+	kind, err := core.ParseSchedule(*schedule)
+	if err != nil {
+		return err
+	}
+	cfg.Schedule = core.Schedule{Kind: kind, Chunk: *chunk}
+	if cfg.Layout, err = particle.ParseLayout(*layout); err != nil {
+		return err
+	}
+	if cfg.Tally, err = tally.ParseMode(*tmode); err != nil {
+		return err
+	}
+	cfg.MergePerStep = *merge
+	cfg.Threads = *threads
+	cfg.Steps = *steps
+	cfg.Seed = *seed
+	if *nx > 0 {
+		cfg.NX, cfg.NY = *nx, *nx
+	}
+	if *parts > 0 {
+		cfg.Particles = *parts
+	}
+	cfg.KeepCells = *cells
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if *cells {
+		printTally(res, cfg)
+	}
+	return nil
+}
+
+func printResult(res *core.Result) {
+	cfg := res.Config
+	c := res.Counter
+	fmt.Printf("problem      %s  (%dx%d mesh, %d particles, %d step(s))\n",
+		cfg.Problem, cfg.NX, cfg.NY, cfg.Particles, cfg.Steps)
+	fmt.Printf("scheme       %s  schedule %s  layout %s  tally %s  threads %d\n",
+		cfg.Scheme, cfg.Schedule, cfg.Layout, cfg.Tally, cfg.Threads)
+	fmt.Printf("wallclock    %v\n", res.Wall)
+	fmt.Printf("events       %d  (facet %d, collision %d, census %d)\n",
+		c.TotalEvents(), c.FacetEvents, c.CollisionEvents, c.CensusEvents)
+	fmt.Printf("per particle %.1f facets, %.2f collisions\n",
+		core.PerParticle(c.FacetEvents, cfg.Particles),
+		core.PerParticle(c.CollisionEvents, cfg.Particles))
+	fmt.Printf("throughput   %.2f Mevents/s\n",
+		float64(c.TotalEvents())/res.Wall.Seconds()/1e6)
+	fmt.Printf("memory ops   %d density reads, %d tally flushes, %d xs lookups (mean walk %.1f bins)\n",
+		c.DensityReads, c.TallyFlushes, c.XSLookups,
+		float64(c.XSSearchSteps)/float64(max(c.XSLookups, 1)))
+	if c.OERounds > 0 {
+		fmt.Printf("over-events  %d rounds, %d slot sweeps\n", c.OERounds, c.OESlotSweeps)
+	}
+	if res.AtomicConflicts > 0 {
+		fmt.Printf("atomics      %d CAS conflicts (%.4f per flush)\n",
+			res.AtomicConflicts, float64(res.AtomicConflicts)/float64(max(c.TallyFlushes, 1)))
+	}
+	fmt.Printf("population   %d dead, weight %.1f -> %.1f\n",
+		c.Deaths, res.Conservation.BirthWeight, res.Conservation.FinalWeight)
+	fmt.Printf("energy       deposited %.4g weight-eV, in flight %.4g, conservation error %.2e\n",
+		res.Conservation.Deposited, res.Conservation.InFlight, res.Conservation.RelativeError)
+	fmt.Printf("balance      load imbalance %.3f (max worker / mean)\n", res.LoadImbalance())
+}
+
+// printTally renders the deposition mesh as a coarse ASCII heat map — the
+// textual analogue of the paper's Fig 2.
+func printTally(res *core.Result, cfg core.Config) {
+	if len(res.Cells) == 0 {
+		return
+	}
+	const grid = 32
+	sums := make([]float64, grid*grid)
+	maxSum := 0.0
+	for cy := 0; cy < cfg.NY; cy++ {
+		for cx := 0; cx < cfg.NX; cx++ {
+			gx := cx * grid / cfg.NX
+			gy := cy * grid / cfg.NY
+			sums[gy*grid+gx] += res.Cells[cy*cfg.NX+cx]
+		}
+	}
+	for _, s := range sums {
+		if s > maxSum {
+			maxSum = s
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	fmt.Println("energy deposition (log shade, origin bottom-left):")
+	for gy := grid - 1; gy >= 0; gy-- {
+		row := make([]byte, grid)
+		for gx := 0; gx < grid; gx++ {
+			v := sums[gy*grid+gx]
+			idx := 0
+			if v > 0 && maxSum > 0 {
+				frac := 1 + 0.125*math.Log10(v/maxSum) // 8 decades of range
+				if frac < 0 {
+					frac = 0
+				}
+				idx = int(frac * float64(len(shades)-1))
+				if idx < 1 {
+					idx = 1
+				}
+			}
+			row[gx] = shades[idx]
+		}
+		fmt.Printf("  %s\n", row)
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

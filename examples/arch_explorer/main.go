@@ -1,0 +1,43 @@
+// Arch explorer: price the paper's workloads on the modelled 2017 devices
+// (Broadwell, KNL, POWER8, K20X, P100) and regenerate the final
+// cross-device figure — the zero-hardware version of the paper's Fig 14.
+//
+//	go run ./examples/arch_explorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	neutral "repro"
+)
+
+func main() {
+	fmt.Println("modelled paper-scale runtimes (seconds), Over Particles scheme")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %10s %10s %12s\n", "device", "seconds", "latency", "bandwidth", "tally-frac")
+	preds, err := neutral.PredictDevices("csp", "over-particles")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var p100, bdw float64
+	for _, p := range preds {
+		fmt.Printf("%-12s %10.2f %10.2f %10.2f %11.0f%%\n",
+			p.Device, p.Seconds, p.Latency, p.Bandwidth, 100*p.TallyFraction)
+		switch p.Device {
+		case "p100":
+			p100 = p.Seconds
+		case "broadwell":
+			bdw = p.Seconds
+		}
+	}
+	fmt.Printf("\nP100 advantage over dual-socket Broadwell: %.1fx (paper: 3.2x)\n\n", bdw/p100)
+
+	// Regenerate the full Fig 14 table through the experiment harness.
+	fig, err := neutral.RunExperiment("fig14", "quick")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig.Render(os.Stdout)
+}

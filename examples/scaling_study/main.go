@@ -1,0 +1,53 @@
+// Scaling study: the paper's Fig 3 experiment on your own machine — thread
+// scaling of both parallelisation schemes with parallel efficiency and
+// load-imbalance reporting.
+//
+//	go run ./examples/scaling_study
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	neutral "repro"
+)
+
+func main() {
+	max := runtime.GOMAXPROCS(0)
+	fmt.Printf("thread scaling on this host (GOMAXPROCS=%d), csp problem\n\n", max)
+	fmt.Println("threads   scheme           seconds   speedup   efficiency   imbalance")
+
+	for _, scheme := range []struct {
+		name string
+		s    interface{}
+	}{{"over-particles", neutral.OverParticles}, {"over-events", neutral.OverEvents}} {
+		var t1 float64
+		for t := 1; t <= max; t++ {
+			cfg, err := neutral.DefaultConfig("csp")
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.NX, cfg.NY = 384, 384
+			cfg.Particles = 3000
+			cfg.Threads = t
+			if scheme.name == "over-events" {
+				cfg.Scheme = neutral.OverEvents
+			}
+			res, err := neutral.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			secs := res.Wall.Seconds()
+			if t == 1 {
+				t1 = secs
+			}
+			fmt.Printf("%7d   %-15s %9.4f %9.2f %12.2f %11.3f\n",
+				t, scheme.name, secs, t1/secs, t1/secs/float64(t), res.LoadImbalance())
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper context: neutral is memory-latency bound, so efficiency stays high")
+	fmt.Println("until memory-level parallelism saturates; the paper saw sharp drops only")
+	fmt.Println("when crossing NUMA domains, and large gains from SMT (Fig 6).")
+}

@@ -1,0 +1,65 @@
+package archmodel
+
+import "math"
+
+// PredictFlow prices the flow mini-app (a pure streaming workload) on a CPU
+// device: runtime is traffic over available bandwidth, with a small compute
+// floor. flow is the paper's bandwidth-bound contrast case: near-perfect
+// core scaling where memory controllers are plentiful (POWER8, Fig 3), no
+// benefit from SMT (Fig 6), and a ~5x gain from MCDRAM (Fig 10 discussion).
+func PredictFlow(d *Device, cells, steps float64, opt Options) Prediction {
+	p := place(d, opt)
+	tier := d.Tier(opt.FastMem)
+
+	traffic := cells * 8 * 2 * steps
+	bwAvail := availableBW(d, tier, p)
+
+	ops := cells * steps * 12 // stencil flops
+	// Streaming stencils vectorise well, unlike neutral's event loop.
+	vecSpeed := 1 + (float64(d.VectorLanes)-1)*0.6
+	compute := ops / (float64(p.activeCores) * d.ClockGHz * 1e9 * d.IPC * vecSpeed)
+	// SMT oversubscription slightly hurts a bandwidth-bound code
+	// (contending for the same load/store ports): the paper measured a
+	// ~1.2x penalty for oversubscribing flow on Broadwell.
+	penalty := 1.0
+	if p.perCore > 1 {
+		penalty = 1 + 0.1*(p.perCore-1)
+	}
+	pred := Prediction{Device: d.Name}
+	pred.Bandwidth = traffic / bwAvail * penalty
+	pred.Compute = compute
+	pred.Seconds = math.Max(pred.Bandwidth, pred.Compute)
+	return pred
+}
+
+// PredictHot prices the hot mini-app (CG heat conduction): bandwidth-bound
+// streaming plus a reduction dependency per iteration.
+func PredictHot(d *Device, cells, iters float64, opt Options) Prediction {
+	p := place(d, opt)
+	tier := d.Tier(opt.FastMem)
+
+	traffic := cells * 8 * 7 * iters
+	bwAvail := availableBW(d, tier, p)
+
+	ops := cells * iters * 14
+	vecSpeed := 1 + (float64(d.VectorLanes)-1)*0.6
+	compute := ops / (float64(p.activeCores) * d.ClockGHz * 1e9 * d.IPC * vecSpeed)
+	// Two reductions per CG iteration synchronise all threads.
+	sync := iters * 2 * d.BarrierNs * (1 + float64(p.threads)/64) * 1e-9
+
+	pred := Prediction{Device: d.Name}
+	pred.Bandwidth = traffic / bwAvail
+	pred.Compute = compute
+	pred.Sync = sync
+	pred.Seconds = math.Max(pred.Bandwidth, pred.Compute) + sync
+	return pred
+}
+
+// Efficiency converts a scaling curve into parallel efficiency:
+// eff(t) = T(1) / (t * T(t)).
+func Efficiency(t1, tn float64, threads int) float64 {
+	if tn <= 0 || threads < 1 {
+		return 0
+	}
+	return t1 / (float64(threads) * tn)
+}

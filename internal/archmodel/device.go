@@ -1,0 +1,264 @@
+// Package archmodel is an analytic performance model of the five devices
+// the paper evaluates: dual-socket Intel Xeon E5-2699 v4 (Broadwell), Intel
+// Xeon Phi 7210 (Knights Landing), dual-socket POWER8, NVIDIA K20X and
+// NVIDIA P100.
+//
+// We cannot run on the paper's 2017 hardware, so — per the substitution
+// rule in DESIGN.md — the simulation is instrumented (internal/core's
+// Counters) and this package converts those workload counts into predicted
+// runtimes. The model is a roofline extended with the two effects the paper
+// identifies as decisive for Monte Carlo transport:
+//
+//   - memory latency with bounded memory-level parallelism (MLP): a
+//     latency-bound code's throughput is outstanding-misses / latency, so
+//     runtime falls as SMT adds hardware threads per core (the paper's
+//     hyperthreading results: 1.37x on 2-way Broadwell, 2.16x on 4-way KNL,
+//     6.2x on 8-way POWER8) and as GPUs keep thousands of warps in flight;
+//   - atomic serialisation for the tally read-modify-writes.
+//
+// Device parameters come from public spec sheets; behavioural coefficients
+// (per-thread MLP, vector-gather efficiency, atomic costs) are calibrated
+// so the paper's *qualitative* results hold and are documented where they
+// are defined. Tests in shape_test.go pin the paper's headline ratios.
+package archmodel
+
+import "fmt"
+
+// Kind distinguishes latency-hiding strategies.
+type Kind int
+
+const (
+	// CPU hides latency with out-of-order execution and SMT.
+	CPU Kind = iota
+	// GPU hides latency with massive warp-level parallelism.
+	GPU
+)
+
+// MemTier describes one memory technology attached to a device.
+type MemTier struct {
+	Name string
+	// LatencyNs is the unloaded random-access latency.
+	LatencyNs float64
+	// BandwidthGBs is the achievable (not theoretical) bandwidth.
+	BandwidthGBs float64
+}
+
+// Device is a modelled processor.
+type Device struct {
+	Name string
+	Kind Kind
+
+	// Cores is physical cores (CPU) or streaming multiprocessors (GPU).
+	Cores int
+	// SMTWays is hardware threads per core (CPU only).
+	SMTWays int
+	// ClockGHz is the sustained clock.
+	ClockGHz float64
+	// IPC is sustained scalar instructions/cycle/core for this kind of
+	// branchy, pointer-chasing code (CPU only).
+	IPC float64
+	// VectorLanes is DP SIMD lanes per core (CPU only).
+	VectorLanes int
+
+	// Caches, bytes. LLCBytes is zero on KNL (no shared LLC) and is the
+	// L2 on GPUs.
+	L2Bytes  float64
+	LLCBytes float64
+
+	// Mem is the main memory tier; FastMem, when non-nil, is the
+	// high-bandwidth tier (KNL MCDRAM).
+	Mem     MemTier
+	FastMem *MemTier
+
+	// MLPPerThread is the average outstanding misses a single thread
+	// sustains in the Over Particles loop, where each segment's loads
+	// depend on the previous event. Dependent chains keep this near 1;
+	// it is the single most important latency coefficient.
+	MLPPerThread float64
+	// MLPPerThreadOE is the same for the Over Events kernels, whose
+	// loads are independent across particles and therefore overlap
+	// better under out-of-order execution.
+	MLPPerThreadOE float64
+	// MLPPerCore caps outstanding misses per core (line-fill buffers /
+	// miss queues).
+	MLPPerCore float64
+
+	// AtomicExtraNs is the serialisation cost a double-precision atomic
+	// add pays beyond its cache miss (lock prefix / LL-SC / CAS retry).
+	AtomicExtraNs float64
+	// HWAtomicFP64 marks native fp64 atomicAdd (P100). Devices without
+	// it (K20X) emulate with a CAS loop costing CASEmulationFactor more.
+	HWAtomicFP64       bool
+	CASEmulationFactor float64
+	// NUMADomains and NUMAPenaltyNs model the remote-socket latency adder
+	// when threads span sockets.
+	NUMADomains   int
+	NUMAPenaltyNs float64
+	// BWPerCoreFactor scales how much of the device bandwidth a single
+	// core can pull: per-core BW = total/cores * factor. POWER8's many
+	// Centaur channels are core-limited (factor near 1, hence flow's
+	// near-perfect core scaling in Fig 3); Xeon cores can individually
+	// pull several cores' worth, so a few cores saturate the socket.
+	BWPerCoreFactor float64
+
+	// Vector efficiencies for the three Over Events kernels (Fig 8):
+	// the fraction of ideal lane speedup each kernel achieves, limited
+	// by gather/scatter support. Zero means vectorisation does not pay.
+	VecEffEvent     float64
+	VecEffCollision float64
+	VecEffFacet     float64
+
+	// GPU-only parameters.
+	WarpSize     int
+	MaxWarpsSM   int
+	RegsPerSM    int
+	RegsOP       int // registers/thread, Over Particles kernel
+	RegsOE       int // registers/thread, Over Events kernels
+	MSHRsPerSM   float64
+	WarpMLP      float64 // in-flight memory requests per active warp
+	DPFlopsG     float64 // peak DP GFLOP/s
+	DivergentEff float64 // fraction of peak compute under branchy code
+	BarrierNs    float64 // kernel-launch / barrier overhead per sync
+}
+
+// MaxThreads is the device's full logical thread count: the operating
+// point of the paper's final results (88 on Broadwell, 256 on KNL, 160 on
+// POWER8).
+func (d *Device) MaxThreads() int {
+	if d.Kind == GPU {
+		return d.Cores * d.MaxWarpsSM * d.WarpSize
+	}
+	return d.Cores * d.SMTWays
+}
+
+// Tier returns the active memory tier.
+func (d *Device) Tier(fast bool) MemTier {
+	if fast && d.FastMem != nil {
+		return *d.FastMem
+	}
+	return d.Mem
+}
+
+// String returns the device name.
+func (d *Device) String() string { return d.Name }
+
+// The five paper devices. Spec-sheet numbers are cited inline; calibrated
+// behavioural coefficients are marked "cal:".
+var (
+	// Broadwell: dual-socket Xeon E5-2699 v4, 22 cores/socket @ 2.1 GHz
+	// (2.2 sustained), 2-way HT, 55 MB LLC/socket, ~76.8 GB/s/socket
+	// DDR4-2400 (measured streams ~65), DRAM ~90 ns.
+	Broadwell = Device{
+		Name: "broadwell", Kind: CPU,
+		Cores: 44, SMTWays: 2, ClockGHz: 2.2, IPC: 2.2, VectorLanes: 4,
+		L2Bytes: 44 * 256 << 10, LLCBytes: 110 << 20,
+		Mem:          MemTier{Name: "ddr4", LatencyNs: 90, BandwidthGBs: 130},
+		MLPPerThread: 2.6, MLPPerThreadOE: 5.0, MLPPerCore: 10, // cal:
+		AtomicExtraNs: 18, CASEmulationFactor: 1, // cal:
+		NUMADomains: 2, NUMAPenaltyNs: 65, BWPerCoreFactor: 3.0,
+		VecEffEvent: 0.0, VecEffCollision: 0.0, VecEffFacet: 0.25, // cal: Fig 8 left
+		BarrierNs: 3500,
+	}
+
+	// BroadwellSocket is a single socket of the above, used by the
+	// paper's Fig 5 (SoA vs AoS on one socket).
+	BroadwellSocket = Device{
+		Name: "broadwell-1s", Kind: CPU,
+		Cores: 22, SMTWays: 2, ClockGHz: 2.2, IPC: 2.2, VectorLanes: 4,
+		L2Bytes: 22 * 256 << 10, LLCBytes: 55 << 20,
+		Mem:          MemTier{Name: "ddr4", LatencyNs: 90, BandwidthGBs: 65},
+		MLPPerThread: 2.6, MLPPerThreadOE: 5.0, MLPPerCore: 10,
+		AtomicExtraNs: 18, CASEmulationFactor: 1,
+		NUMADomains: 1, NUMAPenaltyNs: 0, BWPerCoreFactor: 3.0,
+		VecEffEvent: 0.0, VecEffCollision: 0.0, VecEffFacet: 0.25,
+		BarrierNs: 2000,
+	}
+
+	// KNL: Xeon Phi 7210, 64 cores @ 1.3 GHz, 4-way SMT, 512 KB L2 per
+	// tile (2 cores), no LLC; 16 GB MCDRAM ~420 GB/s but *higher*
+	// latency than DDR4 (~155 vs ~140 ns) — which is exactly why the
+	// latency-bound Over Particles scheme gains little from MCDRAM while
+	// the bandwidth-hungry Over Events scheme gains 2.4x (Fig 10).
+	KNL = Device{
+		Name: "knl", Kind: CPU,
+		Cores: 64, SMTWays: 4, ClockGHz: 1.3, IPC: 1.6, VectorLanes: 8,
+		L2Bytes: 32 << 20, LLCBytes: 0,
+		Mem:          MemTier{Name: "ddr4", LatencyNs: 140, BandwidthGBs: 95},
+		FastMem:      &MemTier{Name: "mcdram", LatencyNs: 155, BandwidthGBs: 420},
+		MLPPerThread: 1.2, MLPPerThreadOE: 3.0, MLPPerCore: 3.6, // cal: short per-tile miss queues
+		AtomicExtraNs: 60, CASEmulationFactor: 1, // cal: no LLC to arbitrate atomics
+		NUMADomains: 1, NUMAPenaltyNs: 0, BWPerCoreFactor: 3.0,
+		VecEffEvent: 0.25, VecEffCollision: 0.30, VecEffFacet: 0.35, // cal: Fig 8 right (AVX-512 gathers)
+		BarrierNs: 12000,
+	}
+
+	// POWER8: dual-socket 10-core @ 3.5 GHz, SMT8, 8 MB L3/core (eDRAM),
+	// 8 memory channels per socket through Centaur buffers: enormous
+	// bandwidth (~190 GB/s sustained) but buffer-added latency (~115 ns).
+	POWER8 = Device{
+		Name: "power8", Kind: CPU,
+		Cores: 20, SMTWays: 8, ClockGHz: 3.5, IPC: 2.6, VectorLanes: 2,
+		L2Bytes: 20 * 512 << 10, LLCBytes: 160 << 20,
+		Mem:          MemTier{Name: "centaur-ddr", LatencyNs: 125, BandwidthGBs: 190},
+		MLPPerThread: 1.15, MLPPerThreadOE: 4.0, MLPPerCore: 9, // cal: SMT8 ~6.2x (Fig 6)
+		AtomicExtraNs: 24, CASEmulationFactor: 1, // cal: LL/SC larx/stcx costlier than x86 lock
+		NUMADomains: 2, NUMAPenaltyNs: 75, BWPerCoreFactor: 1.2,
+		VecEffEvent: 0.03, VecEffCollision: 0.0, VecEffFacet: 0.12, // VSX, no gathers
+		BarrierNs: 4500,
+	}
+
+	// K20X: Kepler GK110, 14 SMX @ 732 MHz, 6 GB GDDR5, ~250 GB/s
+	// theoretical (~175 achievable), 65536 regs/SM, no fp64 atomicAdd
+	// (CAS emulation), deep ~600 ns memory latency.
+	K20X = Device{
+		Name: "k20x", Kind: GPU,
+		Cores: 14, ClockGHz: 0.732,
+		L2Bytes: 1536 << 10, LLCBytes: 1536 << 10,
+		Mem:      MemTier{Name: "gddr5", LatencyNs: 600, BandwidthGBs: 175},
+		WarpSize: 32, MaxWarpsSM: 64, RegsPerSM: 65536,
+		RegsOP: 102, RegsOE: 40,
+		MSHRsPerSM: 128, WarpMLP: 3.6, // cal: register-cap study (§VI-H: 1.6x at 64 regs)
+		DPFlopsG: 1310, DivergentEff: 0.14,
+		HWAtomicFP64: false, CASEmulationFactor: 6, AtomicExtraNs: 15,
+		NUMADomains: 1,
+		BarrierNs:   8000, // kernel launch latency
+	}
+
+	// P100: Pascal GP100, 56 SMs @ 1.33 GHz, 16 GB HBM2, 732 GB/s
+	// theoretical (~500 achievable), hardware fp64 atomicAdd, many more,
+	// smaller SMs than Kepler — "allowing for additional concurrent
+	// memory requests, hiding some of the memory latency" (§VII-E).
+	P100 = Device{
+		Name: "p100", Kind: GPU,
+		Cores: 56, ClockGHz: 1.33,
+		L2Bytes: 4 << 20, LLCBytes: 4 << 20,
+		Mem:      MemTier{Name: "hbm2", LatencyNs: 450, BandwidthGBs: 500},
+		WarpSize: 32, MaxWarpsSM: 64, RegsPerSM: 65536,
+		RegsOP: 79, RegsOE: 40,
+		MSHRsPerSM: 64, WarpMLP: 3.2, // cal: occupancy study (§VII-E: capping regs *hurts* 1.07x)
+		DPFlopsG: 4700, DivergentEff: 0.12,
+		HWAtomicFP64: true, CASEmulationFactor: 6, AtomicExtraNs: 15,
+		NUMADomains: 1,
+		BarrierNs:   6000,
+	}
+)
+
+// Devices lists the paper's evaluation devices in Fig 14 order.
+func Devices() []*Device {
+	return []*Device{&Broadwell, &KNL, &POWER8, &K20X, &P100}
+}
+
+// CPUs lists only the CPU devices (Figs 4, 7).
+func CPUs() []*Device {
+	return []*Device{&Broadwell, &KNL, &POWER8}
+}
+
+// DeviceByName finds a device.
+func DeviceByName(name string) (*Device, error) {
+	for _, d := range append(Devices(), &BroadwellSocket) {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("archmodel: unknown device %q", name)
+}

@@ -1,0 +1,162 @@
+package archmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+	"repro/internal/tally"
+)
+
+func TestMaxThreads(t *testing.T) {
+	if got := Broadwell.MaxThreads(); got != 88 {
+		t.Errorf("Broadwell max threads = %d, want 88", got)
+	}
+	if got := KNL.MaxThreads(); got != 256 {
+		t.Errorf("KNL max threads = %d, want 256", got)
+	}
+	if got := POWER8.MaxThreads(); got != 160 {
+		t.Errorf("POWER8 max threads = %d, want 160", got)
+	}
+	if got := P100.MaxThreads(); got != 56*64*32 {
+		t.Errorf("P100 max threads = %d", got)
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	for _, name := range []string{"broadwell", "broadwell-1s", "knl", "power8", "k20x", "p100"} {
+		d, err := DeviceByName(name)
+		if err != nil || d.Name != name {
+			t.Errorf("DeviceByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := DeviceByName("itanium"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestTierSelection(t *testing.T) {
+	if KNL.Tier(false).Name != "ddr4" || KNL.Tier(true).Name != "mcdram" {
+		t.Error("KNL tier selection broken")
+	}
+	// Devices without FastMem ignore the flag.
+	if Broadwell.Tier(true).Name != "ddr4" {
+		t.Error("Broadwell should have no fast tier")
+	}
+}
+
+func TestDeviceListsConsistent(t *testing.T) {
+	if len(Devices()) != 5 {
+		t.Fatalf("%d paper devices, want 5", len(Devices()))
+	}
+	if len(CPUs()) != 3 {
+		t.Fatalf("%d CPU devices, want 3", len(CPUs()))
+	}
+	for _, d := range CPUs() {
+		if d.Kind != CPU {
+			t.Errorf("%s listed as CPU but is kind %d", d.Name, d.Kind)
+		}
+		if d.SMTWays < 1 || d.MLPPerThread <= 0 || d.Mem.BandwidthGBs <= 0 {
+			t.Errorf("%s has nonsense CPU parameters", d.Name)
+		}
+	}
+	for _, d := range Devices() {
+		if d.Kind == GPU && (d.RegsPerSM == 0 || d.WarpSize == 0 || d.MSHRsPerSM == 0) {
+			t.Errorf("%s has nonsense GPU parameters", d.Name)
+		}
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	// Paper numbers: P100 Over Particles uses 79 regs -> occupancy ~0.38;
+	// capped to 64 -> ~0.49.
+	if _, occ := occupancy(&P100, 79); occ < 0.3 || occ > 0.45 {
+		t.Errorf("P100 79-reg occupancy = %.2f, want ~0.39", occ)
+	}
+	if _, occ := occupancy(&P100, 64); occ < 0.42 || occ > 0.56 {
+		t.Errorf("P100 64-reg occupancy = %.2f, want ~0.50", occ)
+	}
+	// More registers can never raise occupancy.
+	w102, _ := occupancy(&K20X, 102)
+	w64, _ := occupancy(&K20X, 64)
+	if w102 >= w64 {
+		t.Errorf("occupancy must fall with register pressure: %v vs %v", w102, w64)
+	}
+	// Degenerate inputs clamp instead of exploding.
+	if w, _ := occupancy(&K20X, 0); w < 1 {
+		t.Error("zero registers should clamp")
+	}
+	if w, _ := occupancy(&K20X, 1<<20); w < 1 {
+		t.Error("huge register count should clamp to >= 1 warp")
+	}
+	if _, occ := occupancy(&K20X, 1); occ != 1 {
+		t.Errorf("tiny kernels should reach full occupancy, got %v", occ)
+	}
+}
+
+func TestSpillPenalty(t *testing.T) {
+	if spillPenalty(79, 0) != 1 || spillPenalty(79, 79) != 1 || spillPenalty(79, 100) != 1 {
+		t.Error("no cap or loose cap must not spill")
+	}
+	if p := spillPenalty(102, 64); p <= 1 {
+		t.Errorf("capping 102->64 must cost compute, got %v", p)
+	}
+	if spillPenalty(102, 64) <= spillPenalty(79, 64) {
+		t.Error("more spilled registers must cost more")
+	}
+}
+
+func TestEfficiencyHelper(t *testing.T) {
+	if e := Efficiency(10, 1, 10); e != 1 {
+		t.Errorf("perfect scaling efficiency = %v", e)
+	}
+	if e := Efficiency(10, 2, 10); e != 0.5 {
+		t.Errorf("half scaling efficiency = %v", e)
+	}
+	if Efficiency(10, 0, 4) != 0 || Efficiency(10, 1, 0) != 0 {
+		t.Error("degenerate efficiency inputs must return 0")
+	}
+}
+
+// TestPredictionMonotonicity: more threads never slow a CPU prediction by
+// more than the NUMA-crossing penalty allows; and every prediction is
+// positive and finite.
+func TestPredictionMonotonicity(t *testing.T) {
+	op, _ := workloads(t)
+	wCSP := op[mesh.CSP]
+	prev := 0.0
+	for _, threads := range []int{1, 2, 4, 8, 16, 22, 44, 88} {
+		p := Predict(&Broadwell, wCSP, Options{Tally: tally.ModeAtomic, Threads: threads})
+		if p.Seconds <= 0 {
+			t.Fatalf("threads=%d: non-positive runtime", threads)
+		}
+		if prev > 0 && p.Seconds > prev*1.30 {
+			t.Errorf("threads=%d: runtime rose from %.2f to %.2f", threads, prev, p.Seconds)
+		}
+		prev = p.Seconds
+	}
+}
+
+// TestThreadClampProperty: any thread request is clamped to the device
+// range and placement stays self-consistent.
+func TestThreadClampProperty(t *testing.T) {
+	f := func(threads int, compact bool) bool {
+		p := place(&Broadwell, Options{Threads: threads % 1000, CompactPlacement: compact})
+		if p.threads < 1 || p.threads > Broadwell.MaxThreads() {
+			return false
+		}
+		if p.activeCores < 1 || p.activeCores > Broadwell.Cores {
+			return false
+		}
+		if p.perCore < 1-1e-9 || p.perCore > float64(Broadwell.SMTWays)+1e-9 {
+			return false
+		}
+		if p.socketsUsed < 1 || p.socketsUsed > float64(Broadwell.NUMADomains) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,371 @@
+package archmodel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/tally"
+)
+
+// Workload fixtures: measured once from instrumented reduced-scale runs and
+// scaled to paper scale, exactly as the harness does.
+var (
+	wlOnce sync.Once
+	wlOP   map[mesh.Problem]Workload
+	wlOE   map[mesh.Problem]Workload
+	wlErr  error
+)
+
+func workloads(t *testing.T) (map[mesh.Problem]Workload, map[mesh.Problem]Workload) {
+	t.Helper()
+	wlOnce.Do(func() {
+		wlOP = map[mesh.Problem]Workload{}
+		wlOE = map[mesh.Problem]Workload{}
+		for _, p := range []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP} {
+			w, err := MeasureWorkload(p, core.OverParticles)
+			if err != nil {
+				wlErr = err
+				return
+			}
+			wlOP[p] = w
+			w, err = MeasureWorkload(p, core.OverEvents)
+			if err != nil {
+				wlErr = err
+				return
+			}
+			wlOE[p] = w
+		}
+	})
+	if wlErr != nil {
+		t.Fatal(wlErr)
+	}
+	return wlOP, wlOE
+}
+
+func atomicOpts() Options { return Options{Tally: tally.ModeAtomic, CompactPlacement: true} }
+
+func oeOpts() Options {
+	o := atomicOpts()
+	o.Vectorised = true
+	return o
+}
+
+// naturalOpts places KNL data in MCDRAM — the 7210's natural operating mode
+// and the configuration behind the paper's headline KNL numbers.
+func naturalOpts(d *Device, base Options) Options {
+	if d.Name == "knl" {
+		base.FastMem = true
+	}
+	return base
+}
+
+// ratio returns a/b.
+func ratio(a, b float64) float64 { return a / b }
+
+func inBand(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.2f, want within [%.2f, %.2f] (paper shape)", name, got, lo, hi)
+	}
+}
+
+// TestFig14DeviceOrdering pins the paper's cross-device result for the csp
+// problem under Over Particles: P100 fastest, then Broadwell (1.34x faster
+// than POWER8), KNL ~ POWER8, K20X slowest; P100 3.2x vs Broadwell and 4.5x
+// vs K20X.
+func TestFig14DeviceOrdering(t *testing.T) {
+	op, _ := workloads(t)
+	w := op[mesh.CSP]
+	secs := map[string]float64{}
+	for _, d := range Devices() {
+		secs[d.Name] = Predict(d, w, naturalOpts(d, atomicOpts())).Seconds
+	}
+	t.Logf("csp over-particles seconds: %+v", secs)
+
+	if !(secs["p100"] < secs["broadwell"] && secs["broadwell"] < secs["power8"]) {
+		t.Errorf("ordering broken: p100 %.2f, broadwell %.2f, power8 %.2f",
+			secs["p100"], secs["broadwell"], secs["power8"])
+	}
+	if !(secs["k20x"] > secs["power8"] && secs["k20x"] > secs["knl"]) {
+		t.Errorf("k20x should be slowest for csp: %+v", secs)
+	}
+	inBand(t, "broadwell/p100", ratio(secs["broadwell"], secs["p100"]), 2.2, 4.5)     // paper 3.2
+	inBand(t, "k20x/p100", ratio(secs["k20x"], secs["p100"]), 3.0, 6.5)               // paper 4.5
+	inBand(t, "power8/broadwell", ratio(secs["power8"], secs["broadwell"]), 1.1, 1.7) // paper 1.34
+	inBand(t, "knl/power8", ratio(secs["knl"], secs["power8"]), 0.65, 1.5)            // paper ~1
+}
+
+// TestOverParticlesBeatsOverEvents pins the scheme comparison: Over
+// Particles wins everywhere except KNL-scatter (Figs 9-13), with the
+// paper's csp penalties: 4.56x (BDW), 3.75x (P8), 2.15x (KNL), 3.64x (P100).
+func TestOverParticlesBeatsOverEvents(t *testing.T) {
+	op, oe := workloads(t)
+	cases := []struct {
+		dev    *Device
+		lo, hi float64
+	}{
+		{&Broadwell, 2.5, 7.0},
+		{&POWER8, 2.0, 6.0},
+		{&KNL, 1.3, 3.5},
+		{&P100, 2.0, 6.0},
+	}
+	for _, c := range cases {
+		top := Predict(c.dev, op[mesh.CSP], naturalOpts(c.dev, atomicOpts())).Seconds
+		toe := Predict(c.dev, oe[mesh.CSP], naturalOpts(c.dev, oeOpts())).Seconds
+		inBand(t, c.dev.Name+" csp OE/OP", ratio(toe, top), c.lo, c.hi)
+	}
+	// K20X: OP still wins for csp (Fig 12), no published factor.
+	top := Predict(&K20X, op[mesh.CSP], atomicOpts()).Seconds
+	toe := Predict(&K20X, oe[mesh.CSP], oeOpts()).Seconds
+	if toe <= top {
+		t.Errorf("k20x csp: over-events (%.2f) should lose to over-particles (%.2f)", toe, top)
+	}
+	// Stream: Over Particles wins everywhere too.
+	for _, d := range Devices() {
+		tp := Predict(d, op[mesh.Stream], naturalOpts(d, atomicOpts())).Seconds
+		te := Predict(d, oe[mesh.Stream], naturalOpts(d, oeOpts())).Seconds
+		if te <= tp {
+			t.Errorf("%s stream: over-events (%.2f) should lose to over-particles (%.2f)",
+				d.Name, te, tp)
+		}
+	}
+}
+
+// TestKNLScatterCrossover pins the one place the breadth-first scheme wins:
+// vectorised collisions on KNL make Over Events 1.73x faster for the
+// scatter problem (Fig 10 discussion).
+func TestKNLScatterCrossover(t *testing.T) {
+	op, oe := workloads(t)
+	top := Predict(&KNL, op[mesh.Scatter], naturalOpts(&KNL, atomicOpts())).Seconds
+	toe := Predict(&KNL, oe[mesh.Scatter], naturalOpts(&KNL, oeOpts())).Seconds
+	inBand(t, "knl scatter OP/OE", ratio(top, toe), 1.2, 2.6) // paper 1.73
+	// The crossover must NOT happen on Broadwell (Fig 9: OP wins all).
+	// Scatter is compute-dominated, so the margin is thin there; require
+	// only that the order holds.
+	topB := Predict(&Broadwell, op[mesh.Scatter], atomicOpts()).Seconds
+	toeB := Predict(&Broadwell, oe[mesh.Scatter], oeOpts()).Seconds
+	if toeB <= topB*1.01 {
+		t.Errorf("broadwell scatter: over-events (%.2f) should lose to over-particles (%.2f)", toeB, topB)
+	}
+}
+
+// TestFig6Hyperthreading pins the SMT speedups for csp: 1.37x on 2-way
+// Broadwell, 2.16x on 4-way KNL, 6.2x on 8-way POWER8.
+func TestFig6Hyperthreading(t *testing.T) {
+	op, _ := workloads(t)
+	w := op[mesh.CSP]
+	smt := func(d *Device) float64 {
+		base := atomicOpts()
+		base.CompactPlacement = false
+		one := base
+		one.Threads = d.Cores
+		all := base
+		all.Threads = d.Cores * d.SMTWays
+		return ratio(Predict(d, w, one).Seconds, Predict(d, w, all).Seconds)
+	}
+	bdw := smt(&Broadwell)
+	knl := smt(&KNL)
+	p8 := smt(&POWER8)
+	t.Logf("SMT speedups: broadwell %.2f, knl %.2f, power8 %.2f", bdw, knl, p8)
+	inBand(t, "broadwell SMT2 speedup", bdw, 1.15, 1.7) // paper 1.37
+	inBand(t, "knl SMT4 speedup", knl, 1.5, 3.0)        // paper 2.16
+	inBand(t, "power8 SMT8 speedup", p8, 4.0, 8.0)      // paper 6.2
+	if !(p8 > knl && knl > bdw) {
+		t.Errorf("SMT speedups not ordered by SMT ways: %.2f %.2f %.2f", bdw, knl, p8)
+	}
+}
+
+// TestFig10MCDRAM pins the memory-tier study: MCDRAM buys the
+// bandwidth-hungry Over Events scheme ~2.38x on csp, helps the latency-bound
+// Over Particles scheme much less, and for the cache-resident scatter
+// problem Over Particles is marginally *faster* from DRAM (lower latency).
+func TestFig10MCDRAM(t *testing.T) {
+	op, oe := workloads(t)
+	gain := func(w Workload, o Options) float64 {
+		dram := o
+		dram.FastMem = false
+		mc := o
+		mc.FastMem = true
+		return ratio(Predict(&KNL, w, dram).Seconds, Predict(&KNL, w, mc).Seconds)
+	}
+	oeGain := gain(oe[mesh.CSP], oeOpts())
+	opGain := gain(op[mesh.CSP], atomicOpts())
+	t.Logf("MCDRAM gains: csp over-events %.2f, csp over-particles %.2f", oeGain, opGain)
+	inBand(t, "knl csp over-events MCDRAM gain", oeGain, 1.6, 3.5) // paper 2.38
+	if opGain >= oeGain {
+		t.Errorf("over-particles MCDRAM gain (%.2f) should be below over-events' (%.2f)", opGain, oeGain)
+	}
+	scatterGain := gain(op[mesh.Scatter], atomicOpts())
+	if scatterGain > 1.05 {
+		t.Errorf("scatter over-particles should see no MCDRAM benefit, got %.2f", scatterGain)
+	}
+	// flow, for contrast, gains ~5x (Fig 10 discussion).
+	fDram := PredictFlow(&KNL, 4000*4000, 100, Options{})
+	fMC := PredictFlow(&KNL, 4000*4000, 100, Options{FastMem: true})
+	inBand(t, "knl flow MCDRAM gain", ratio(fDram.Seconds, fMC.Seconds), 3.5, 6.0) // paper ~5
+}
+
+// TestFig7TallyPrivatisation pins the privatisation study: removing the
+// atomic buys ~1.16x/1.18x on Broadwell/KNL csp, and merging every timestep
+// makes privatisation slower than atomics.
+func TestFig7TallyPrivatisation(t *testing.T) {
+	op, _ := workloads(t)
+	w := op[mesh.CSP]
+	for _, c := range []struct {
+		dev    *Device
+		lo, hi float64
+	}{
+		{&Broadwell, 1.02, 1.45},
+		{&KNL, 1.02, 1.50},
+	} {
+		at := atomicOpts()
+		pr := at
+		pr.Tally = tally.ModePrivate
+		speedup := ratio(Predict(c.dev, w, at).Seconds, Predict(c.dev, w, pr).Seconds)
+		inBand(t, c.dev.Name+" privatisation speedup", speedup, c.lo, c.hi)
+	}
+	// Merge per timestep: slower than atomics on every CPU.
+	for _, d := range CPUs() {
+		at := atomicOpts()
+		pm := at
+		pm.Tally = tally.ModePrivate
+		pm.MergePerStep = true
+		ta := Predict(d, w, at).Seconds
+		tm := Predict(d, w, pm).Seconds
+		if tm <= ta {
+			t.Errorf("%s: per-step merge (%.2f) should be slower than atomic (%.2f)", d.Name, tm, ta)
+		}
+	}
+}
+
+// TestFig8Vectorisation pins the per-kernel vectorisation study: on
+// Broadwell only the facet kernel benefits; on KNL every kernel does.
+func TestFig8Vectorisation(t *testing.T) {
+	_, oe := workloads(t)
+	w := oe[mesh.CSP]
+	kernels := func(d *Device, vec bool) map[string]float64 {
+		o := atomicOpts()
+		o.Vectorised = vec
+		return Predict(d, w, o).KernelCompute
+	}
+	bOff, bOn := kernels(&Broadwell, false), kernels(&Broadwell, true)
+	facetSpeedup := ratio(bOff["facet"], bOn["facet"])
+	collSpeedup := ratio(bOff["collision"], bOn["collision"])
+	if facetSpeedup < 1.2 {
+		t.Errorf("broadwell facet kernel vectorisation speedup %.2f, want > 1.2", facetSpeedup)
+	}
+	if collSpeedup > 1.1 {
+		t.Errorf("broadwell collision kernel should not vectorise (%.2f)", collSpeedup)
+	}
+	kOff, kOn := kernels(&KNL, false), kernels(&KNL, true)
+	for _, k := range []string{"event", "collision", "facet"} {
+		if s := ratio(kOff[k], kOn[k]); s < 1.5 {
+			t.Errorf("knl %s kernel vectorisation speedup %.2f, want > 1.5", k, s)
+		}
+	}
+}
+
+// TestGPURegisterStudy pins §VI-H and §VII-E: capping registers at 64 buys
+// ~1.6x on the K20X but costs ~1.07x on the P100, whose occupancy already
+// saturates its miss queues.
+func TestGPURegisterStudy(t *testing.T) {
+	op, _ := workloads(t)
+	w := op[mesh.CSP]
+	natural := atomicOpts()
+	capped := natural
+	capped.RegisterCap = 64
+
+	k20xGain := ratio(Predict(&K20X, w, natural).Seconds, Predict(&K20X, w, capped).Seconds)
+	inBand(t, "k20x 64-reg cap speedup", k20xGain, 1.2, 2.2) // paper 1.6
+
+	p100Gain := ratio(Predict(&P100, w, natural).Seconds, Predict(&P100, w, capped).Seconds)
+	if p100Gain >= 1.0 {
+		t.Errorf("p100 64-reg cap should *hurt* (paper 1.07x slower), got speedup %.2f", p100Gain)
+	}
+	inBand(t, "p100 64-reg cap slowdown", 1/p100Gain, 1.0, 1.3)
+
+	// Occupancy numbers themselves (paper: 0.38 -> 0.49 on P100).
+	_, occNat := occupancy(&P100, P100.RegsOP)
+	_, occCap := occupancy(&P100, 64)
+	inBand(t, "p100 natural occupancy", occNat, 0.3, 0.45)
+	inBand(t, "p100 capped occupancy", occCap, 0.42, 0.56)
+}
+
+// TestP100HardwareAtomics pins the 1.20x the paper measured for the
+// hardware fp64 atomicAdd intrinsic.
+func TestP100HardwareAtomics(t *testing.T) {
+	op, _ := workloads(t)
+	w := op[mesh.CSP]
+	hw := atomicOpts()
+	sw := hw
+	sw.ForceSoftwareAtomics = true
+	gain := ratio(Predict(&P100, w, sw).Seconds, Predict(&P100, w, hw).Seconds)
+	inBand(t, "p100 hw atomicAdd speedup", gain, 1.05, 1.5) // paper 1.20
+}
+
+// TestTallyFraction pins the profile measurement: tallying accounts for
+// ~50% of Over Particles runtime but only ~22% of Over Events runtime on
+// the Xeon (§VI-A).
+func TestTallyFraction(t *testing.T) {
+	op, oe := workloads(t)
+	pOP := Predict(&Broadwell, op[mesh.CSP], atomicOpts())
+	pOE := Predict(&Broadwell, oe[mesh.CSP], oeOpts())
+	fOP := pOP.TallyFraction()
+	fOE := pOE.TallyFraction()
+	t.Logf("tally fractions: over-particles %.2f, over-events %.2f", fOP, fOE)
+	// The band is generous upward: the model attributes whole cache-line
+	// moves to the tally where the paper's sample profiler attributes
+	// instruction addresses, so our fraction reads high.
+	inBand(t, "broadwell csp over-particles tally fraction", fOP, 0.35, 0.78) // paper 0.50
+	inBand(t, "broadwell csp over-events tally fraction", fOE, 0.08, 0.40)    // paper 0.22
+	if fOE >= fOP {
+		t.Errorf("over-events tally fraction (%.2f) should be below over-particles' (%.2f)", fOE, fOP)
+	}
+}
+
+// TestFig3NUMAEfficiencyDrop pins the thread-scaling shape: neutral's
+// parallel efficiency drops sharply when threads cross onto the second
+// socket, while flow on POWER8 scales near-perfectly across its many memory
+// controllers.
+func TestFig3NUMAEfficiencyDrop(t *testing.T) {
+	op, _ := workloads(t)
+	w := op[mesh.CSP]
+	base := Options{Tally: tally.ModeAtomic}
+	t1 := func(threads int) float64 {
+		o := base
+		o.Threads = threads
+		return Predict(&Broadwell, w, o).Seconds
+	}
+	one := t1(1)
+	effBefore := Efficiency(one, t1(22), 22)
+	effAfter := Efficiency(one, t1(26), 26)
+	t.Logf("broadwell csp efficiency: 22t %.2f, 26t %.2f", effBefore, effAfter)
+	if effAfter >= effBefore {
+		t.Errorf("efficiency should drop crossing NUMA: 22t %.3f -> 26t %.3f", effBefore, effAfter)
+	}
+
+	// flow on POWER8: near-perfect core scaling (Fig 3 right).
+	f1 := PredictFlow(&POWER8, 4000*4000, 100, Options{Threads: 1}).Seconds
+	f20 := PredictFlow(&POWER8, 4000*4000, 100, Options{Threads: 20}).Seconds
+	if eff := Efficiency(f1, f20, 20); eff < 0.8 {
+		t.Errorf("flow POWER8 20-core efficiency %.2f, want near-perfect (> 0.8)", eff)
+	}
+}
+
+// TestCalibrationReport logs the full prediction matrix for inspection; it
+// asserts nothing beyond successful prediction.
+func TestCalibrationReport(t *testing.T) {
+	op, oe := workloads(t)
+	for _, prob := range []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP} {
+		for _, d := range Devices() {
+			pOP := Predict(d, op[prob], atomicOpts())
+			pOE := Predict(d, oe[prob], oeOpts())
+			t.Logf("%-8s %-7s OP %8.3fs (c %.2f l %.2f b %.2f a %.2f) | OE %8.3fs (c %.2f l %.2f b %.2f a %.2f s %.2f)",
+				d.Name, prob,
+				pOP.Seconds, pOP.Compute, pOP.Latency, pOP.Bandwidth, pOP.Atomics,
+				pOE.Seconds, pOE.Compute, pOE.Latency, pOE.Bandwidth, pOE.Atomics, pOE.Sync)
+		}
+	}
+}

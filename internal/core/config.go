@@ -1,0 +1,183 @@
+// Package core implements the neutral mini-app solver: the Over Particles
+// and Over Events parallelisation schemes (paper §V), the thread scheduling
+// strategies (§VI-C), and the instrumentation that feeds the architecture
+// performance model.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/events"
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
+	"repro/internal/xs"
+)
+
+// Scheme selects the parallelisation strategy (paper §V).
+type Scheme int
+
+const (
+	// OverParticles follows each particle from birth to census on one
+	// worker: data cached in registers, minimal synchronisation, deep
+	// branches, possible load imbalance.
+	OverParticles Scheme = iota
+	// OverEvents advances all particles one event at a time through
+	// tight kernels: more data parallelism, no register caching,
+	// gathered memory access, a synchronisation per kernel.
+	OverEvents
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case OverParticles:
+		return "over-particles"
+	case OverEvents:
+		return "over-events"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a name to a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "over-particles", "particles", "op":
+		return OverParticles, nil
+	case "over-events", "events", "oe":
+		return OverEvents, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scheme %q (want over-particles or over-events)", s)
+	}
+}
+
+// Config fully describes a neutral run.
+type Config struct {
+	// Problem selects the paper test case: stream, scatter or csp.
+	Problem mesh.Problem
+	// NX, NY are the mesh resolution. The paper uses 4000x4000.
+	NX, NY int
+	// Particles is the source population. The paper uses 1e6 for stream
+	// and csp, 1e7 for scatter.
+	Particles int
+	// Timestep is the census interval in seconds (paper: 1e-7 s).
+	Timestep float64
+	// Steps is the number of timesteps to run.
+	Steps int
+	// Seed drives every random stream.
+	Seed uint64
+
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// Scheme picks Over Particles or Over Events.
+	Scheme Scheme
+	// Schedule picks the work distribution strategy (paper Fig 4).
+	Schedule Schedule
+	// Layout picks AoS or SoA particle storage (paper Fig 5).
+	Layout particle.Layout
+	// Tally picks the tally implementation (paper Fig 7).
+	Tally tally.Mode
+	// MergePerStep forces a merge of the privatised tally at every
+	// timestep — the paper's realistic coupled-physics case, which made
+	// privatisation slower than atomics on all architectures (§VI-F).
+	MergePerStep bool
+
+	// XSPoints is the cross-section table resolution.
+	XSPoints int
+	// WeightCutoff and EnergyCutoff terminate particle histories.
+	WeightCutoff float64
+	EnergyCutoff float64
+
+	// KeepBank retains the final particle bank on the Result for
+	// inspection (tests, validation); large runs should leave it off.
+	KeepBank bool
+	// KeepCells retains a copy of the per-cell tally on the Result.
+	KeepCells bool
+
+	// CustomDensity, when non-nil, adjusts the density mesh after the
+	// standard problem setup — how downstream users build multi-material
+	// scenes (shield stacks, phantoms) on top of the three paper
+	// problems.
+	CustomDensity func(m *mesh.Mesh)
+	// CustomSource overrides the problem's source region when non-nil.
+	CustomSource *mesh.SourceBox
+}
+
+// Default returns a configuration sized so a full run completes in well
+// under a second: the paper's physics at reduced mesh resolution and
+// population. Event counts per particle scale linearly with resolution, so
+// behaviour is preserved (see DESIGN.md §2).
+func Default(p mesh.Problem) Config {
+	return Config{
+		Problem:      p,
+		NX:           512,
+		NY:           512,
+		Particles:    2000,
+		Timestep:     1e-7,
+		Steps:        1,
+		Seed:         9271,
+		Threads:      0,
+		Scheme:       OverParticles,
+		Schedule:     Schedule{Kind: ScheduleStatic},
+		Layout:       particle.AoS,
+		Tally:        tally.ModeAtomic,
+		XSPoints:     xs.DefaultPoints,
+		WeightCutoff: events.DefaultWeightCutoff,
+		EnergyCutoff: events.DefaultEnergyCutoff,
+	}
+}
+
+// Paper returns the full paper-scale configuration: 4000^2 mesh, 1e6
+// particles (1e7 for scatter), 1e-7 s timestep.
+func Paper(p mesh.Problem) Config {
+	cfg := Default(p)
+	cfg.NX, cfg.NY = 4000, 4000
+	cfg.Particles = 1_000_000
+	if p == mesh.Scatter {
+		cfg.Particles = 10_000_000
+	}
+	return cfg
+}
+
+// Validate checks the configuration and applies defaults for zero values.
+func (c *Config) Validate() error {
+	if c.NX < 1 || c.NY < 1 {
+		return fmt.Errorf("core: mesh %dx%d must be positive", c.NX, c.NY)
+	}
+	if c.Particles < 1 {
+		return fmt.Errorf("core: particle count %d must be positive", c.Particles)
+	}
+	if c.Timestep <= 0 {
+		return fmt.Errorf("core: timestep %v must be positive", c.Timestep)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("core: steps %d must be positive", c.Steps)
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("core: thread count %d must be non-negative", c.Threads)
+	}
+	if c.Threads == 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.XSPoints == 0 {
+		c.XSPoints = xs.DefaultPoints
+	}
+	if c.XSPoints < 2 {
+		return fmt.Errorf("core: cross-section table needs at least 2 points, got %d", c.XSPoints)
+	}
+	if c.WeightCutoff <= 0 || c.WeightCutoff >= 1 {
+		return fmt.Errorf("core: weight cutoff %v must be in (0, 1)", c.WeightCutoff)
+	}
+	if c.EnergyCutoff <= 0 {
+		return fmt.Errorf("core: energy cutoff %v must be positive", c.EnergyCutoff)
+	}
+	if c.Tally == tally.ModeSerial && c.Threads > 1 {
+		return fmt.Errorf("core: serial tally requires a single thread, got %d", c.Threads)
+	}
+	if err := c.Schedule.validate(); err != nil {
+		return err
+	}
+	return nil
+}

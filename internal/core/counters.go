@@ -1,0 +1,103 @@
+package core
+
+import "time"
+
+// Counters instruments the solver. Every count is maintained per worker
+// without synchronisation and aggregated after the run; together they form
+// the workload description consumed by the architecture performance model
+// (internal/archmodel), replacing the paper's VTune/nvprof measurements.
+type Counters struct {
+	// Event population (paper §IV-A).
+	FacetEvents     uint64
+	CollisionEvents uint64
+	CensusEvents    uint64
+	Reflections     uint64
+	Deaths          uint64
+
+	// Segments is the number of distance-to-event calculations: one per
+	// particle step in Over Particles, one per live particle per round in
+	// Over Events.
+	Segments uint64
+
+	// Cross-section activity (paper §IV-D, §VI-A).
+	XSLookups     uint64 // capture+scatter pair lookups
+	XSSearchSteps uint64 // linear-walk steps across both tables
+
+	// Memory behaviour proxies.
+	DensityReads uint64 // cell-centred density loads (random access)
+	TallyFlushes uint64 // atomic read-modify-writes onto the tally mesh
+	RNGDraws     uint64 // cipher blocks generated
+
+	// Over Events bookkeeping: rounds of the outer loop and total
+	// particle slots visited across all kernels (the gathers the paper
+	// describes: "each kernel visits the entire list of particles").
+	OERounds     uint64
+	OESlotSweeps uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.FacetEvents += other.FacetEvents
+	c.CollisionEvents += other.CollisionEvents
+	c.CensusEvents += other.CensusEvents
+	c.Reflections += other.Reflections
+	c.Deaths += other.Deaths
+	c.Segments += other.Segments
+	c.XSLookups += other.XSLookups
+	c.XSSearchSteps += other.XSSearchSteps
+	c.DensityReads += other.DensityReads
+	c.TallyFlushes += other.TallyFlushes
+	c.RNGDraws += other.RNGDraws
+	c.OERounds += other.OERounds
+	c.OESlotSweeps += other.OESlotSweeps
+}
+
+// TotalEvents sums the three event kinds.
+func (c *Counters) TotalEvents() uint64 {
+	return c.FacetEvents + c.CollisionEvents + c.CensusEvents
+}
+
+// PerParticle scales a count by the particle population.
+func PerParticle(count uint64, particles int) float64 {
+	if particles == 0 {
+		return 0
+	}
+	return float64(count) / float64(particles)
+}
+
+// PhaseTimings records where wallclock went. For Over Events the four
+// kernels are timed separately (the paper profiles them individually in
+// Fig 8); Over Particles has a single fused loop.
+type PhaseTimings struct {
+	// EventKernel is time computing distances and moving particles
+	// (Over Events kernel 1).
+	EventKernel time.Duration
+	// CollisionKernel handles collisions (kernel 2).
+	CollisionKernel time.Duration
+	// FacetKernel handles facet crossings (kernel 3).
+	FacetKernel time.Duration
+	// TallyKernel is the separate atomic flush loop (kernel 4, the
+	// paper's vectorisation workaround §VI-G).
+	TallyKernel time.Duration
+	// Fused is the single Over Particles loop.
+	Fused time.Duration
+	// Merge is tally shard merging (private tallies only).
+	Merge time.Duration
+}
+
+// Total sums all phases.
+func (p PhaseTimings) Total() time.Duration {
+	return p.EventKernel + p.CollisionKernel + p.FacetKernel + p.TallyKernel + p.Fused + p.Merge
+}
+
+// Conservation is the per-run audit: with reflective boundaries and exact
+// loss bookkeeping, birth weight-energy must equal deposits plus what is
+// still carried by census particles.
+type Conservation struct {
+	BirthWeight   float64
+	FinalWeight   float64 // census + alive weight (dead carry none)
+	BirthEnergy   float64 // weight-eV
+	Deposited     float64 // weight-eV flushed into tallies
+	InFlight      float64 // weight-eV still on census particles
+	RelativeError float64 // |birth - (deposited + inflight)| / birth
+}

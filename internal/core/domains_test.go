@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// TestRunDomainsMatchesRun: domain ownership only changes who processes a
+// particle; the counter-based RNG makes the physics identical to a plain
+// run, bit for bit.
+func TestRunDomainsMatchesRun(t *testing.T) {
+	cfg := smallConfig(mesh.CSP)
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := RunDomains(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareBanks(t, plain.Bank, res.Bank)
+	if plain.Counter.TotalEvents() != res.Counter.TotalEvents() {
+		t.Errorf("event totals differ: %d vs %d",
+			plain.Counter.TotalEvents(), res.Counter.TotalEvents())
+	}
+	if res.Conservation.RelativeError > 1e-9 {
+		t.Errorf("conservation error %.3g", res.Conservation.RelativeError)
+	}
+	if stats.Domains != 4 || len(stats.Busy) != 4 {
+		t.Fatalf("stats malformed: %+v", stats)
+	}
+}
+
+// TestRunDomainsOwnership: birth populations land in the right strips, and
+// streaming particles generate census-exchange traffic.
+func TestRunDomainsOwnership(t *testing.T) {
+	cfg := smallConfig(mesh.CSP) // source in the bottom-left strip
+	cfg.Steps = 2
+	_, stats, err := RunDomains(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// csp births are all in the bottom-left tenth of the mesh: domain 0.
+	if stats.StartPopulation[0] != cfg.Particles {
+		t.Errorf("start population = %v, want all %d in domain 0",
+			stats.StartPopulation, cfg.Particles)
+	}
+	// Streaming across the mesh must migrate particles between strips.
+	if stats.TotalMigrations() == 0 {
+		t.Error("no census-exchange migrations despite streaming particles")
+	}
+	if len(stats.Migrations) != cfg.Steps {
+		t.Errorf("migration log has %d entries, want %d", len(stats.Migrations), cfg.Steps)
+	}
+	if stats.Imbalance() < 1 {
+		t.Errorf("imbalance %v < 1", stats.Imbalance())
+	}
+}
+
+// TestRunDomainsScatterStaysHome: the scatter problem's particles die in
+// their birth cells, so almost nothing migrates — the decomposition's best
+// case.
+func TestRunDomainsScatterStaysHome(t *testing.T) {
+	cfg := smallConfig(mesh.Scatter)
+	_, stats, err := RunDomains(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(stats.TotalMigrations()) / float64(cfg.Particles); frac > 0.2 {
+		t.Errorf("scatter migrated %.1f%% of particles, want ~0", 100*frac)
+	}
+}
+
+func TestRunDomainsValidation(t *testing.T) {
+	cfg := smallConfig(mesh.CSP)
+	if _, _, err := RunDomains(cfg, 0); err == nil {
+		t.Error("zero domains accepted")
+	}
+	if _, _, err := RunDomains(cfg, -2); err == nil {
+		t.Error("negative domains accepted")
+	}
+	// Single domain degenerates to a serial run.
+	res, stats, err := RunDomains(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Imbalance() != 1 {
+		t.Errorf("single-domain imbalance = %v, want 1", stats.Imbalance())
+	}
+	if res.Counter.TotalEvents() == 0 {
+		t.Error("no events")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// TestSchemeEquivalence is the central correctness property of the
+// reproduction: Over Particles and Over Events must produce identical
+// physics. The counter-based RNG gives every particle its own stream, so
+// the two traversal orders consume identical variates and the final
+// particle records must agree bit for bit; tallies agree to floating-point
+// reassociation tolerance, and every event counter matches exactly.
+func TestSchemeEquivalence(t *testing.T) {
+	for _, p := range []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP} {
+		cfgOP := smallConfig(p)
+		cfgOP.Scheme = OverParticles
+		cfgOE := smallConfig(p)
+		cfgOE.Scheme = OverEvents
+
+		rop, err := Run(cfgOP)
+		if err != nil {
+			t.Fatalf("%v over-particles: %v", p, err)
+		}
+		roe, err := Run(cfgOE)
+		if err != nil {
+			t.Fatalf("%v over-events: %v", p, err)
+		}
+
+		compareBanks(t, rop.Bank, roe.Bank)
+
+		cop, coe := rop.Counter, roe.Counter
+		type pair struct {
+			name   string
+			op, oe uint64
+		}
+		for _, c := range []pair{
+			{"facet events", cop.FacetEvents, coe.FacetEvents},
+			{"collision events", cop.CollisionEvents, coe.CollisionEvents},
+			{"census events", cop.CensusEvents, coe.CensusEvents},
+			{"reflections", cop.Reflections, coe.Reflections},
+			{"deaths", cop.Deaths, coe.Deaths},
+			{"segments", cop.Segments, coe.Segments},
+			{"xs lookups", cop.XSLookups, coe.XSLookups},
+			{"xs search steps", cop.XSSearchSteps, coe.XSSearchSteps},
+			{"tally flushes", cop.TallyFlushes, coe.TallyFlushes},
+			{"rng draws", cop.RNGDraws, coe.RNGDraws},
+		} {
+			if c.op != c.oe {
+				t.Errorf("%v: %s differ: over-particles %d, over-events %d", p, c.name, c.op, c.oe)
+			}
+		}
+
+		if rop.TallyTotal == 0 && roe.TallyTotal == 0 {
+			continue // stream deposits nothing
+		}
+		if rel := math.Abs(rop.TallyTotal-roe.TallyTotal) / rop.TallyTotal; rel > 1e-9 {
+			t.Errorf("%v: tallies differ by %.3g relative", p, rel)
+		}
+		for i := range rop.Cells {
+			d := math.Abs(rop.Cells[i] - roe.Cells[i])
+			if d > 1e-6*(1+math.Abs(rop.Cells[i])) {
+				t.Fatalf("%v: cell %d differs: %v vs %v", p, i, rop.Cells[i], roe.Cells[i])
+			}
+		}
+	}
+}
+
+// TestSchemeEquivalenceMultiStep extends the equivalence across census
+// revival boundaries.
+func TestSchemeEquivalenceMultiStep(t *testing.T) {
+	cfgOP := smallConfig(mesh.CSP)
+	cfgOP.Steps = 2
+	cfgOE := cfgOP
+	cfgOE.Scheme = OverEvents
+	rop, err := Run(cfgOP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roe, err := Run(cfgOE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareBanks(t, rop.Bank, roe.Bank)
+	if rop.Counter.TotalEvents() != roe.Counter.TotalEvents() {
+		t.Errorf("multi-step event totals differ: %d vs %d",
+			rop.Counter.TotalEvents(), roe.Counter.TotalEvents())
+	}
+}
+
+// TestOverEventsBookkeeping checks the Over Events-specific counters that
+// feed the architecture model: rounds are bounded by the longest history
+// and slot sweeps reflect the four-kernels-per-round structure.
+func TestOverEventsBookkeeping(t *testing.T) {
+	cfg := smallConfig(mesh.Scatter)
+	cfg.Scheme = OverEvents
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counter
+	if c.OERounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	// Each round sweeps the full list in 4 kernels, plus one census sweep
+	// per step.
+	wantSweeps := (4*c.OERounds + uint64(cfg.Steps)) * uint64(cfg.Particles)
+	if c.OESlotSweeps != wantSweeps {
+		t.Errorf("slot sweeps = %d, want %d (4 kernels x %d rounds + census)",
+			c.OESlotSweeps, wantSweeps, c.OERounds)
+	}
+	// Rounds must cover the longest history: at least
+	// max events per particle, at most segments+2.
+	if c.OERounds > c.Segments {
+		t.Errorf("rounds %d exceed total segments %d", c.OERounds, c.Segments)
+	}
+	// Over Particles leaves these counters untouched.
+	cfg.Scheme = OverParticles
+	rop, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rop.Counter.OERounds != 0 || rop.Counter.OESlotSweeps != 0 {
+		t.Error("over-particles recorded over-events bookkeeping")
+	}
+}
+
+// TestPhaseTimingsByScheme checks the per-kernel timing split exists for
+// Over Events (the paper profiles kernels separately) and is absent for the
+// fused Over Particles loop.
+func TestPhaseTimingsByScheme(t *testing.T) {
+	cfg := smallConfig(mesh.CSP)
+	cfg.Scheme = OverEvents
+	roe, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roe.Phases.EventKernel <= 0 || roe.Phases.TallyKernel <= 0 {
+		t.Errorf("over-events kernel timings missing: %+v", roe.Phases)
+	}
+	if roe.Phases.Fused != 0 {
+		t.Error("over-events recorded fused-loop time")
+	}
+
+	cfg.Scheme = OverParticles
+	rop, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rop.Phases.Fused <= 0 {
+		t.Error("over-particles fused-loop time missing")
+	}
+	if rop.Phases.EventKernel != 0 {
+		t.Error("over-particles recorded kernel time")
+	}
+}

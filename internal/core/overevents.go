@@ -1,0 +1,198 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/particle"
+	"repro/internal/xs"
+)
+
+// oeSchedule is the schedule used by the Over Events kernels. The amount of
+// work in each kernel is known before the loop, so a static schedule is
+// appropriate (paper §V-B).
+var oeSchedule = Schedule{Kind: ScheduleStatic}
+
+// stepOverEvents runs one timestep with the Over Events scheme (paper §V-B,
+// Listing 2): rounds of tight kernels, each sweeping the full particle list
+// and gathering the particles it applies to. Nothing is cached in registers
+// across kernels — all state lives in the particle store — and every kernel
+// ends in a synchronisation.
+//
+// Kernel order per round:
+//
+//  1. event kernel: compute times to events, pick the nearest, move the
+//     particle (stores the event kind per particle);
+//  2. collision kernel: handle all colliding particles;
+//  3. tally kernel: the separate atomic flush loop (the vectorisation
+//     workaround of §VI-G) — flushes facet-encountering particles into the
+//     cell they are leaving;
+//  4. facet kernel: move particles across facets / reflect at boundaries.
+//
+// After the last round a census kernel flushes every particle that reached
+// census.
+func (r *run) stepOverEvents(res *Result) {
+	n := r.bank.Len()
+	for {
+		alive := false
+		// Kernel 1: calculate_time_to_events + determine_next_event.
+		t0 := time.Now()
+		parallelFor(r.cfg.Threads, n, oeSchedule, func(w, lo, hi int) {
+			ws := r.workers[w]
+			start := time.Now()
+			var p particle.Particle
+			for i := lo; i < hi; i++ {
+				r.evKind[i] = evNone
+				if r.bank.StatusOf(i) != particle.Alive {
+					continue
+				}
+				r.bank.Load(i, &p)
+				// No register caching across events: the
+				// density and cross sections are re-read from
+				// memory for every round.
+				rho := r.mesh.Density(int(p.CellX), int(p.CellY))
+				ws.c.DensityReads++
+				if p.CachedSigmaA < 0 {
+					lookupXS(ws, &p)
+				}
+				speed := events.Speed(p.Energy)
+				sigmaT := xs.Macroscopic(p.CachedSigmaA+p.CachedSigmaS, rho)
+				ev, axis, dir := advance(r.mesh, &p, sigmaT, speed)
+				ws.c.Segments++
+				r.evKind[i] = uint8(ev)
+				if ev == events.Facet {
+					g := uint8(axis) << 1
+					if dir > 0 {
+						g |= 1
+					}
+					r.evGeom[i] = g
+				}
+				if ev == events.Census {
+					ws.c.CensusEvents++
+					p.Status = particle.Census
+				}
+				r.bank.Store(i, &p)
+			}
+			ws.c.OESlotSweeps += uint64(hi - lo)
+			ws.busy += time.Since(start)
+		})
+		res.Phases.EventKernel += time.Since(t0)
+
+		// Kernel 2: handle_collision for every colliding particle.
+		t0 = time.Now()
+		parallelFor(r.cfg.Threads, n, oeSchedule, func(w, lo, hi int) {
+			ws := r.workers[w]
+			start := time.Now()
+			var p particle.Particle
+			for i := lo; i < hi; i++ {
+				if r.evKind[i] != evCollision {
+					continue
+				}
+				r.bank.Load(i, &p)
+				s := p.Stream(r.cfg.Seed)
+				ws.c.CollisionEvents++
+				ws.c.RNGDraws += 3
+				cr := events.Collide(&r.ctx, &p, &s, p.CachedSigmaA, p.CachedSigmaS)
+				if cr.Died {
+					ws.c.Deaths++
+					r.flush(ws, &p)
+				} else {
+					// Invalidate the stored cross sections;
+					// next round's event kernel re-looks
+					// them up (nothing stays in registers).
+					p.CachedSigmaA = -1
+					p.CachedSigmaS = -1
+				}
+				p.SaveStream(&s)
+				r.bank.Store(i, &p)
+			}
+			ws.c.OESlotSweeps += uint64(hi - lo)
+			ws.busy += time.Since(start)
+		})
+		res.Phases.CollisionKernel += time.Since(t0)
+
+		// Kernel 3: the separate tally loop — flush the deposit
+		// register of every facet-encountering particle into the cell
+		// it is about to leave.
+		t0 = time.Now()
+		parallelFor(r.cfg.Threads, n, oeSchedule, func(w, lo, hi int) {
+			ws := r.workers[w]
+			start := time.Now()
+			var p particle.Particle
+			for i := lo; i < hi; i++ {
+				if r.evKind[i] != evFacet {
+					continue
+				}
+				r.bank.Load(i, &p)
+				r.flush(ws, &p)
+				r.bank.Store(i, &p)
+			}
+			ws.c.OESlotSweeps += uint64(hi - lo)
+			ws.busy += time.Since(start)
+		})
+		res.Phases.TallyKernel += time.Since(t0)
+
+		// Kernel 4: handle_facet — cross into the neighbour cell or
+		// reflect at the boundary.
+		t0 = time.Now()
+		anyAlive := make([]bool, r.cfg.Threads)
+		parallelFor(r.cfg.Threads, n, oeSchedule, func(w, lo, hi int) {
+			ws := r.workers[w]
+			start := time.Now()
+			var p particle.Particle
+			for i := lo; i < hi; i++ {
+				switch r.evKind[i] {
+				case evFacet:
+					r.bank.Load(i, &p)
+					ws.c.FacetEvents++
+					g := r.evGeom[i]
+					axis := int(g >> 1)
+					dir := -1
+					if g&1 != 0 {
+						dir = 1
+					}
+					if reflected := events.ApplyFacet(r.mesh, &p, axis, dir); reflected {
+						ws.c.Reflections++
+					}
+					r.bank.Store(i, &p)
+					anyAlive[w] = true
+				case evCollision:
+					if r.bank.StatusOf(i) == particle.Alive {
+						anyAlive[w] = true
+					}
+				}
+			}
+			ws.c.OESlotSweeps += uint64(hi - lo)
+			ws.busy += time.Since(start)
+		})
+		res.Phases.FacetKernel += time.Since(t0)
+
+		r.workers[0].c.OERounds++
+
+		for _, a := range anyAlive {
+			alive = alive || a
+		}
+		if !alive {
+			break
+		}
+	}
+
+	// Census kernel: flush everything that reached census this step.
+	t0 := time.Now()
+	parallelFor(r.cfg.Threads, r.bank.Len(), oeSchedule, func(w, lo, hi int) {
+		ws := r.workers[w]
+		start := time.Now()
+		var p particle.Particle
+		for i := lo; i < hi; i++ {
+			if r.bank.StatusOf(i) != particle.Census {
+				continue
+			}
+			r.bank.Load(i, &p)
+			r.flush(ws, &p)
+			r.bank.Store(i, &p)
+		}
+		ws.c.OESlotSweeps += uint64(hi - lo)
+		ws.busy += time.Since(start)
+	})
+	res.Phases.TallyKernel += time.Since(t0)
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/particle"
+	"repro/internal/xs"
+)
+
+// stepOverParticles runs one timestep with the Over Particles scheme
+// (paper §V-A, Listing 1): workers claim particle indices per the schedule
+// and carry each particle from its current state to census, death or the
+// end of the timestep in a single fused loop. Cross sections, the local
+// density, the particle record and its deposit register all live in locals
+// — "data is cached in registers between events" — and the only
+// synchronisation is the single join at the end of the loop.
+func (r *run) stepOverParticles(res *Result) {
+	t0 := time.Now()
+	parallelFor(r.cfg.Threads, r.bank.Len(), r.cfg.Schedule, func(w, lo, hi int) {
+		ws := r.workers[w]
+		start := time.Now()
+		var p particle.Particle
+		for i := lo; i < hi; i++ {
+			if r.bank.StatusOf(i) != particle.Alive {
+				continue
+			}
+			r.bank.Load(i, &p)
+			r.history(ws, &p)
+			r.bank.Store(i, &p)
+		}
+		ws.busy += time.Since(start)
+	})
+	res.Phases.Fused += time.Since(t0)
+}
+
+// history advances one particle until census or death. The loop follows the
+// paper's Listing 1: calculate time to events, then handle the nearest of
+// collision, facet and census.
+func (r *run) history(ws *workerState, p *particle.Particle) {
+	m := r.mesh
+	s := p.Stream(r.cfg.Seed)
+
+	// Register-cached state for the whole history.
+	rho := m.Density(int(p.CellX), int(p.CellY))
+	ws.c.DensityReads++
+	if p.CachedSigmaA < 0 {
+		lookupXS(ws, p)
+	}
+	speed := events.Speed(p.Energy)
+
+	for {
+		sigmaT := xs.Macroscopic(p.CachedSigmaA+p.CachedSigmaS, rho)
+		ev, axis, dir := advance(m, p, sigmaT, speed)
+		ws.c.Segments++
+
+		switch ev {
+		case events.Collision:
+			ws.c.CollisionEvents++
+			ws.c.RNGDraws += 3
+			cr := events.Collide(&r.ctx, p, &s, p.CachedSigmaA, p.CachedSigmaS)
+			if cr.Died {
+				ws.c.Deaths++
+				r.flush(ws, p)
+				p.SaveStream(&s)
+				return
+			}
+			// The energy changed: refresh the register-cached
+			// cross sections and speed. Consecutive facet
+			// encounters reuse them without touching the tables.
+			lookupXS(ws, p)
+			speed = events.Speed(p.Energy)
+
+		case events.Facet:
+			ws.c.FacetEvents++
+			// Flush the deposit register onto the tally mesh for
+			// the cell being left — the per-facet atomic.
+			r.flush(ws, p)
+			if reflected := events.ApplyFacet(m, p, axis, dir); reflected {
+				ws.c.Reflections++
+			} else {
+				rho = m.Density(int(p.CellX), int(p.CellY))
+				ws.c.DensityReads++
+			}
+
+		case events.Census:
+			ws.c.CensusEvents++
+			p.Status = particle.Census
+			r.flush(ws, p)
+			p.SaveStream(&s)
+			return
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
+	"repro/internal/xs"
+)
+
+// Result reports everything a run produced: wallclock and phase timings,
+// the instrumentation counters, the tally, and the conservation audit.
+type Result struct {
+	Config  Config
+	Wall    time.Duration
+	Phases  PhaseTimings
+	Counter Counters
+	// WorkerBusy records per-worker busy time, exposing the load
+	// imbalance the paper investigates in §VI-C.
+	WorkerBusy []time.Duration
+	// TallyTotal is the total deposited weight-energy (weight-eV).
+	TallyTotal float64
+	// Cells is a copy of the per-cell tally (KeepCells only).
+	Cells []float64
+	// Conservation is the population/energy audit.
+	Conservation Conservation
+	// AtomicConflicts counts CAS retries in the atomic tally.
+	AtomicConflicts uint64
+	// Bank is the final particle bank (KeepBank only).
+	Bank *particle.Bank
+}
+
+// LoadImbalance reports max worker busy time over mean busy time; 1.0 is a
+// perfect balance.
+func (r *Result) LoadImbalance() float64 {
+	if len(r.WorkerBusy) == 0 {
+		return 1
+	}
+	var sum, max time.Duration
+	for _, b := range r.WorkerBusy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	mean := float64(sum) / float64(len(r.WorkerBusy))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}
+
+// workerState is the per-worker private state: instrumentation counters and
+// the cross-section cursors that play the role of the per-thread cached
+// lookup index in the C implementation.
+type workerState struct {
+	id      int
+	c       Counters
+	capCur  *xs.Cursor
+	scatCur *xs.Cursor
+	busy    time.Duration
+}
+
+// run holds the solver state for one configuration.
+type run struct {
+	cfg     Config
+	mesh    *mesh.Mesh
+	spec    mesh.Spec
+	ctx     events.Context
+	bank    *particle.Bank
+	tly     tally.Tally
+	workers []*workerState
+
+	// Over Events scratch: the per-particle next event and facet
+	// geometry produced by the event kernel and consumed by the handler
+	// kernels.
+	evKind []uint8
+	evGeom []uint8 // axis<<1 | (dir>0)
+}
+
+// Event kind codes in evKind. evNone marks slots with no event this round
+// (census/dead particles).
+const (
+	evCollision = uint8(events.Collision)
+	evFacet     = uint8(events.Facet)
+	evCensus    = uint8(events.Census)
+	evNone      = uint8(255)
+)
+
+// newRun validates the configuration, builds the mesh, tables, tally and
+// worker state, and populates the source. Shared by Run and RunDomains.
+func newRun(cfg Config) (*run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, spec, err := mesh.Build(cfg.Problem, cfg.NX, cfg.NY)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CustomDensity != nil {
+		cfg.CustomDensity(m)
+	}
+	if cfg.CustomSource != nil {
+		spec.Source = *cfg.CustomSource
+	}
+	pair := xs.GeneratePair(cfg.XSPoints)
+	r := &run{
+		cfg:  cfg,
+		mesh: m,
+		spec: spec,
+		ctx: events.Context{
+			Mesh:         m,
+			XS:           pair,
+			WeightCutoff: cfg.WeightCutoff,
+			EnergyCutoff: cfg.EnergyCutoff,
+		},
+		bank: particle.NewBank(cfg.Layout, cfg.Particles),
+		tly:  tally.New(cfg.Tally, m.NumCells(), cfg.Threads),
+	}
+	r.workers = make([]*workerState, cfg.Threads)
+	for w := range r.workers {
+		r.workers[w] = &workerState{
+			id:      w,
+			capCur:  xs.NewCursor(pair.Capture),
+			scatCur: xs.NewCursor(pair.Scatter),
+		}
+	}
+	if cfg.Scheme == OverEvents {
+		r.evKind = make([]uint8, cfg.Particles)
+		r.evGeom = make([]uint8, cfg.Particles)
+	}
+	particle.Populate(r.bank, m, spec.Source, cfg.Timestep, cfg.Seed)
+	return r, nil
+}
+
+// Run executes the configured simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	r, err := newRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = r.cfg // Validate fills defaults
+	res := &Result{Config: cfg}
+	start := time.Now()
+	for step := 0; step < cfg.Steps; step++ {
+		if step > 0 {
+			r.reviveCensus()
+		}
+		switch cfg.Scheme {
+		case OverParticles:
+			r.stepOverParticles(res)
+		case OverEvents:
+			r.stepOverEvents(res)
+		default:
+			return nil, fmt.Errorf("core: unknown scheme %v", cfg.Scheme)
+		}
+		if cfg.Tally == tally.ModePrivate && cfg.MergePerStep {
+			t0 := time.Now()
+			r.tly.(*tally.Private).Merge()
+			res.Phases.Merge += time.Since(t0)
+		}
+	}
+	res.Wall = time.Since(start)
+	r.finish(res)
+	return res, nil
+}
+
+// finish aggregates instrumentation and runs the conservation audit.
+func (r *run) finish(res *Result) {
+	cfg := r.cfg
+	res.WorkerBusy = make([]time.Duration, len(r.workers))
+	for w, ws := range r.workers {
+		res.Counter.Add(&ws.c)
+		res.Counter.XSSearchSteps += ws.capCur.Steps + ws.scatCur.Steps
+		res.WorkerBusy[w] = ws.busy
+	}
+	if a, ok := r.tly.(*tally.Atomic); ok {
+		res.AtomicConflicts = a.Conflicts()
+	}
+
+	birthWeight := float64(cfg.Particles) * particle.SourceWeight
+	birthEnergy := birthWeight * particle.SourceEnergy
+
+	// Conservation audit (meaningless for the null tally).
+	res.TallyTotal = r.tly.Total()
+	inFlight := r.bank.TotalEnergy()
+	res.Conservation = Conservation{
+		BirthWeight: birthWeight,
+		FinalWeight: r.bank.TotalWeight(),
+		BirthEnergy: birthEnergy,
+		Deposited:   res.TallyTotal,
+		InFlight:    inFlight,
+	}
+	if cfg.Tally != tally.ModeNull {
+		res.Conservation.RelativeError =
+			math.Abs(birthEnergy-(res.TallyTotal+inFlight)) / birthEnergy
+	}
+
+	if cfg.KeepCells && cfg.Tally != tally.ModeNull {
+		res.Cells = append([]float64(nil), r.tly.Cells()...)
+	}
+	if cfg.KeepBank {
+		res.Bank = r.bank
+	}
+}
+
+// reviveCensus returns census particles to flight for the next timestep.
+func (r *run) reviveCensus() {
+	var p particle.Particle
+	for i := 0; i < r.bank.Len(); i++ {
+		if r.bank.StatusOf(i) != particle.Census {
+			continue
+		}
+		r.bank.Load(i, &p)
+		p.Status = particle.Alive
+		p.TimeToCensus = r.cfg.Timestep
+		r.bank.Store(i, &p)
+	}
+}
+
+// flush empties the particle's energy-deposition register into the tally
+// mesh cell the particle currently occupies. This is the atomic
+// read-modify-write the paper identifies at every facet encounter and at
+// census; it is performed even when the register is zero, exactly as the
+// unconditional update in the C mini-app.
+func (r *run) flush(ws *workerState, p *particle.Particle) {
+	cell := r.mesh.Index(int(p.CellX), int(p.CellY))
+	r.tly.Add(ws.id, cell, p.Deposit)
+	p.Deposit = 0
+	ws.c.TallyFlushes++
+}
+
+// advance computes the three competing distances for the particle's next
+// segment, moves the particle to the nearest event, and returns the event
+// type (with facet geometry when applicable). It is shared verbatim by both
+// schemes so their histories agree bit for bit.
+func advance(m *mesh.Mesh, p *particle.Particle, sigmaT, speed float64) (ev events.Type, axis, dir int) {
+	dColl := events.DistanceToCollision(p.MFPToCollision, sigmaT)
+	dFacet, axis, dir := events.DistanceToFacet(m, p.X, p.Y, p.UX, p.UY, p.CellX, p.CellY)
+	dCensus := events.DistanceToCensus(p.TimeToCensus, speed)
+
+	var d float64
+	switch {
+	case dColl <= dFacet && dColl <= dCensus:
+		d, ev = dColl, events.Collision
+	case dFacet <= dCensus:
+		d, ev = dFacet, events.Facet
+	default:
+		d, ev = dCensus, events.Census
+	}
+
+	p.X += p.UX * d
+	p.Y += p.UY * d
+	p.TimeToCensus -= d / speed
+	if sigmaT >= events.MinSigmaT {
+		p.MFPToCollision -= d * sigmaT
+	}
+	if ev == events.Census {
+		p.TimeToCensus = 0
+	}
+	return ev, axis, dir
+}
+
+// lookupXS refreshes the particle's cached microscopic cross sections using
+// the worker's cursors. A particle's first lookup has no useful cached bin
+// (the index is zero while the source energy sits near the top of the
+// table), so it seeds the cursor with a binary search; every later lookup
+// walks linearly from the per-particle cached index, the paper's 1.3x
+// optimisation (§VI-A).
+func lookupXS(ws *workerState, p *particle.Particle) {
+	if p.CachedSigmaA < 0 && p.XSIndex == 0 {
+		ws.capCur.Seek(p.Energy)
+		ws.scatCur.Seek(p.Energy)
+	} else {
+		ws.capCur.SetIndex(int(p.XSIndex))
+		ws.scatCur.SetIndex(int(p.XSIndex))
+	}
+	p.CachedSigmaA = ws.capCur.Lookup(p.Energy)
+	p.CachedSigmaS = ws.scatCur.Lookup(p.Energy)
+	p.XSIndex = int32(ws.capCur.Index())
+	ws.c.XSLookups++
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
+)
+
+// smallConfig is the standard reduced-scale test configuration.
+func smallConfig(p mesh.Problem) Config {
+	cfg := Default(p)
+	cfg.NX, cfg.NY = 128, 128
+	cfg.Particles = 400
+	cfg.Threads = 4
+	cfg.KeepBank = true
+	cfg.KeepCells = true
+	return cfg
+}
+
+func TestRunSmokeAllProblemsBothSchemes(t *testing.T) {
+	for _, p := range []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP} {
+		for _, scheme := range []Scheme{OverParticles, OverEvents} {
+			cfg := smallConfig(p)
+			cfg.Scheme = scheme
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", p, scheme, err)
+			}
+			if res.Conservation.RelativeError > 1e-9 {
+				t.Errorf("%v/%v: conservation error %.3g", p, scheme, res.Conservation.RelativeError)
+			}
+			alive, census, dead := res.Bank.CountStatus()
+			if alive != 0 {
+				t.Errorf("%v/%v: %d particles still alive after run", p, scheme, alive)
+			}
+			if census+dead != cfg.Particles {
+				t.Errorf("%v/%v: census+dead = %d, want %d", p, scheme, census+dead, cfg.Particles)
+			}
+			if res.Counter.Segments == 0 || res.Counter.TallyFlushes == 0 {
+				t.Errorf("%v/%v: counters empty: %+v", p, scheme, res.Counter)
+			}
+		}
+	}
+}
+
+// TestEventBalancePerProblem pins the per-problem event profile the paper
+// builds its analysis on: stream is facet-dominated with essentially no
+// collisions, scatter is collision-dominated with few facets, csp is a mix.
+func TestEventBalancePerProblem(t *testing.T) {
+	results := map[mesh.Problem]*Result{}
+	for _, p := range []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP} {
+		res, err := Run(smallConfig(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[p] = res
+	}
+
+	n := float64(smallConfig(mesh.Stream).Particles)
+
+	// Stream: no collisions, hundreds of facets per particle. At 128^2
+	// resolution a 10 MeV particle crossing 4.374 m of a 2.5 m mesh with
+	// reflective walls encounters ~(4/pi)*path/dx ~ 285 facets.
+	st := results[mesh.Stream].Counter
+	if st.CollisionEvents != 0 {
+		t.Errorf("stream: %d collisions, want 0 (vacuum)", st.CollisionEvents)
+	}
+	facetsPerParticle := float64(st.FacetEvents) / n
+	if facetsPerParticle < 200 || facetsPerParticle > 400 {
+		t.Errorf("stream: %.0f facets/particle, want ~285", facetsPerParticle)
+	}
+	if st.CensusEvents != uint64(n) {
+		t.Errorf("stream: %d census events, want %v (all particles)", st.CensusEvents, n)
+	}
+	if st.Reflections == 0 {
+		t.Error("stream: no reflections; particles should cross the mesh repeatedly")
+	}
+
+	// Scatter: collision-dominated; most particles die in or near their
+	// birth cell, so facet counts are far below stream's.
+	sc := results[mesh.Scatter].Counter
+	collisionsPerParticle := float64(sc.CollisionEvents) / n
+	if collisionsPerParticle < 5 || collisionsPerParticle > 40 {
+		t.Errorf("scatter: %.1f collisions/particle, want ~12", collisionsPerParticle)
+	}
+	if float64(sc.FacetEvents)/n > 30 {
+		t.Errorf("scatter: %.1f facets/particle, want few (particles stay near birth cell)",
+			float64(sc.FacetEvents)/n)
+	}
+	if sc.Deaths == 0 {
+		t.Error("scatter: no particle deaths; cutoffs never fired")
+	}
+
+	// CSP: both event kinds present in quantity.
+	cs := results[mesh.CSP].Counter
+	if cs.CollisionEvents == 0 || cs.FacetEvents == 0 {
+		t.Errorf("csp: missing event mix: %+v", cs)
+	}
+	if float64(cs.FacetEvents)/n < 50 {
+		t.Errorf("csp: %.1f facets/particle, want streaming-dominated mix", float64(cs.FacetEvents)/n)
+	}
+}
+
+// TestDeterminismAcrossThreads: the counter-based RNG and per-particle
+// streams make results independent of the worker count.
+func TestDeterminismAcrossThreads(t *testing.T) {
+	var ref *Result
+	for _, threads := range []int{1, 2, 3, 8} {
+		cfg := smallConfig(mesh.CSP)
+		cfg.Threads = threads
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		compareBanks(t, ref.Bank, res.Bank)
+		if res.Counter.TotalEvents() != ref.Counter.TotalEvents() {
+			t.Errorf("threads=%d: event count %d != %d", threads,
+				res.Counter.TotalEvents(), ref.Counter.TotalEvents())
+		}
+		if rel := math.Abs(res.TallyTotal-ref.TallyTotal) / ref.TallyTotal; rel > 1e-9 {
+			t.Errorf("threads=%d: tally differs by %.3g (reassociation tolerance exceeded)", threads, rel)
+		}
+	}
+}
+
+// TestDeterminismAcrossSchedules: the schedule only reorders work.
+func TestDeterminismAcrossSchedules(t *testing.T) {
+	scheds := []Schedule{
+		{Kind: ScheduleStatic},
+		{Kind: ScheduleStaticChunk, Chunk: 16},
+		{Kind: ScheduleDynamic, Chunk: 5},
+		{Kind: ScheduleGuided, Chunk: 8},
+	}
+	var ref *Result
+	for _, sched := range scheds {
+		cfg := smallConfig(mesh.CSP)
+		cfg.Schedule = sched
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		compareBanks(t, ref.Bank, res.Bank)
+	}
+}
+
+// TestDeterminismAcrossLayouts: AoS and SoA must be bit-identical.
+func TestDeterminismAcrossLayouts(t *testing.T) {
+	cfgA := smallConfig(mesh.CSP)
+	cfgA.Layout = particle.AoS
+	cfgA.Threads = 1
+	cfgS := cfgA
+	cfgS.Layout = particle.SoA
+	ra, err := Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareBanks(t, ra.Bank, rs.Bank)
+	// Single-threaded: identical flush order, so tallies are bitwise equal.
+	if ra.TallyTotal != rs.TallyTotal {
+		t.Errorf("single-thread AoS vs SoA tallies differ: %v vs %v", ra.TallyTotal, rs.TallyTotal)
+	}
+}
+
+// TestTallyModesAgree: atomic, private and serial tallies accumulate the
+// same physics.
+func TestTallyModesAgree(t *testing.T) {
+	base := smallConfig(mesh.Scatter)
+	base.Threads = 1
+	base.Tally = tally.ModeSerial
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []tally.Mode{tally.ModeAtomic, tally.ModePrivate} {
+		cfg := smallConfig(mesh.Scatter)
+		cfg.Tally = mode
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.TallyTotal-ref.TallyTotal) / ref.TallyTotal; rel > 1e-9 {
+			t.Errorf("%v tally differs from serial by %.3g", mode, rel)
+		}
+		// Per-cell agreement.
+		for i := range ref.Cells {
+			if d := math.Abs(res.Cells[i] - ref.Cells[i]); d > 1e-6*(1+math.Abs(ref.Cells[i])) {
+				t.Fatalf("%v: cell %d differs: %v vs %v", mode, i, res.Cells[i], ref.Cells[i])
+
+			}
+		}
+	}
+	// Null tally runs but keeps nothing.
+	cfg := smallConfig(mesh.Scatter)
+	cfg.Tally = tally.ModeNull
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TallyTotal != 0 {
+		t.Error("null tally retained deposits")
+	}
+}
+
+func TestMultiStepConservation(t *testing.T) {
+	cfg := smallConfig(mesh.CSP)
+	cfg.Steps = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conservation.RelativeError > 1e-9 {
+		t.Errorf("multi-step conservation error %.3g", res.Conservation.RelativeError)
+	}
+	// Census events: every surviving particle reaches census every step.
+	if res.Counter.CensusEvents < uint64(cfg.Particles) {
+		t.Errorf("census events %d < particle count %d over %d steps",
+			res.Counter.CensusEvents, cfg.Particles, cfg.Steps)
+	}
+}
+
+func TestMergePerStepCharged(t *testing.T) {
+	cfg := smallConfig(mesh.Scatter)
+	cfg.Tally = tally.ModePrivate
+	cfg.MergePerStep = true
+	cfg.Steps = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases.Merge <= 0 {
+		t.Error("per-step merge not timed")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.NX = 0 },
+		func(c *Config) { c.Particles = 0 },
+		func(c *Config) { c.Timestep = 0 },
+		func(c *Config) { c.Steps = 0 },
+		func(c *Config) { c.Threads = -1 },
+		func(c *Config) { c.WeightCutoff = 0 },
+		func(c *Config) { c.WeightCutoff = 1.5 },
+		func(c *Config) { c.EnergyCutoff = -1 },
+		func(c *Config) { c.XSPoints = 1 },
+		func(c *Config) { c.Schedule.Chunk = -2 },
+		func(c *Config) { c.Tally = tally.ModeSerial; c.Threads = 4 },
+	}
+	for i, mutate := range bad {
+		cfg := Default(mesh.CSP)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	good := Default(mesh.CSP)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	if good.Threads == 0 {
+		t.Error("Validate did not default the thread count")
+	}
+}
+
+func TestPaperConfig(t *testing.T) {
+	cfg := Paper(mesh.Scatter)
+	if cfg.NX != 4000 || cfg.NY != 4000 {
+		t.Errorf("paper mesh = %dx%d, want 4000x4000", cfg.NX, cfg.NY)
+	}
+	if cfg.Particles != 10_000_000 {
+		t.Errorf("paper scatter population = %d, want 1e7", cfg.Particles)
+	}
+	if Paper(mesh.CSP).Particles != 1_000_000 {
+		t.Error("paper csp population should be 1e6")
+	}
+}
+
+func TestLoadImbalanceReported(t *testing.T) {
+	cfg := smallConfig(mesh.CSP)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerBusy) != cfg.Threads {
+		t.Fatalf("WorkerBusy has %d entries, want %d", len(res.WorkerBusy), cfg.Threads)
+	}
+	if im := res.LoadImbalance(); im < 1 {
+		t.Errorf("load imbalance %v < 1", im)
+	}
+}
+
+func TestPerParticleHelper(t *testing.T) {
+	if PerParticle(100, 50) != 2 {
+		t.Error("PerParticle arithmetic wrong")
+	}
+	if PerParticle(100, 0) != 0 {
+		t.Error("PerParticle should guard against zero population")
+	}
+}
+
+// compareBanks asserts bitwise-identical particle records.
+func compareBanks(t *testing.T, a, b *particle.Bank) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("bank sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	var pa, pb particle.Particle
+	for i := 0; i < a.Len(); i++ {
+		a.Load(i, &pa)
+		b.Load(i, &pb)
+		if pa != pb {
+			t.Fatalf("particle %d differs:\n a: %+v\n b: %+v", i, pa, pb)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package events implements the particle event tracking of the neutral
+// mini-app (paper §IV-A): the three event types — collision, facet
+// encounter, census — their competing distance calculations, and their
+// handlers.
+//
+// The functions here are the single source of truth for the physics. Both
+// parallelisation schemes call them with identical random streams, so the
+// schemes produce identical particle histories; only the order of execution
+// and the memory behaviour differ — which is precisely the comparison the
+// paper makes.
+package events
+
+import (
+	"math"
+
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/rng"
+	"repro/internal/xs"
+)
+
+// Physical constants.
+const (
+	// EVToJoule converts electron-volts to joules.
+	EVToJoule = 1.602176634e-19
+	// NeutronMassKg is the neutron rest mass.
+	NeutronMassKg = 1.67492749804e-27
+)
+
+// Speed returns the non-relativistic particle speed in m/s for a kinetic
+// energy in eV. At the 10 MeV source energy this is ~4.4e7 m/s; relativistic
+// corrections (~2.5%) are irrelevant to a performance proxy.
+func Speed(energyEV float64) float64 {
+	return math.Sqrt(2 * energyEV * EVToJoule / NeutronMassKg)
+}
+
+// Type enumerates the event kinds.
+type Type int
+
+const (
+	// Collision: the particle interacts with a nucleus (absorb/scatter).
+	Collision Type = iota
+	// Facet: the particle reaches a face of its mesh cell.
+	Facet
+	// Census: the particle exhausts the timestep.
+	Census
+)
+
+// String names the event type.
+func (t Type) String() string {
+	switch t {
+	case Collision:
+		return "collision"
+	case Facet:
+		return "facet"
+	case Census:
+		return "census"
+	default:
+		return "unknown"
+	}
+}
+
+// Context bundles the immutable inputs of event handling.
+type Context struct {
+	Mesh *mesh.Mesh
+	XS   xs.Pair
+	// WeightCutoff terminates histories whose statistical weight has been
+	// ground down by implicit capture (paper §IV-E).
+	WeightCutoff float64
+	// EnergyCutoff terminates histories that have slowed beneath the
+	// energy of interest, in eV.
+	EnergyCutoff float64
+}
+
+// DefaultWeightCutoff and DefaultEnergyCutoff are the standard termination
+// thresholds: histories end once their weight falls below 2% of birth
+// weight or their energy below 100 eV.
+const (
+	DefaultWeightCutoff = 0.02
+	DefaultEnergyCutoff = 100.0
+)
+
+// MinSigmaT is the macroscopic cross section below which material is
+// treated as void (no collisions): the stream problem's 1e-30 kg/m^3
+// density produces SigmaT ~ 2e-30 /m, far below this.
+const MinSigmaT = 1e-12
+
+// ScatterAlpha is the elastic-scattering energy-dampening floor
+// ((A-1)/(A+1))^2 for the synthetic single material.
+const ScatterAlpha = 0.3
+
+// Infinity is the distance used for impossible events.
+var Infinity = math.Inf(1)
+
+// DistanceToCollision converts remaining sampled mean free paths into a
+// distance through material with total macroscopic cross section sigmaT.
+func DistanceToCollision(mfpRemaining, sigmaT float64) float64 {
+	if sigmaT < MinSigmaT {
+		return Infinity
+	}
+	return mfpRemaining / sigmaT
+}
+
+// DistanceToCensus converts remaining timestep into track length.
+func DistanceToCensus(timeToCensus, speed float64) float64 {
+	return timeToCensus * speed
+}
+
+// DistanceToFacet performs the Cartesian ray–grid intersection (paper
+// §IV-C): the distance from (x, y) travelling along (ux, uy) to the nearest
+// face of cell (cx, cy). axis reports 0 for an x-facet, 1 for a y-facet;
+// dir reports +1 or -1, the direction of cell transition along that axis.
+func DistanceToFacet(m *mesh.Mesh, x, y, ux, uy float64, cx, cy int32) (d float64, axis, dir int) {
+	dx := Infinity
+	dirX := 0
+	switch {
+	case ux > 0:
+		dx = (m.FacetX(int(cx)+1) - x) / ux
+		dirX = 1
+	case ux < 0:
+		dx = (m.FacetX(int(cx)) - x) / ux
+		dirX = -1
+	}
+	dy := Infinity
+	dirY := 0
+	switch {
+	case uy > 0:
+		dy = (m.FacetY(int(cy)+1) - y) / uy
+		dirY = 1
+	case uy < 0:
+		dy = (m.FacetY(int(cy)) - y) / uy
+		dirY = -1
+	}
+	// Floating point can leave a just-crossed facet epsilon behind the
+	// particle; clamp to zero so the particle never moves backwards.
+	if dx < 0 {
+		dx = 0
+	}
+	if dy < 0 {
+		dy = 0
+	}
+	if dx <= dy {
+		return dx, 0, dirX
+	}
+	return dy, 1, dirY
+}
+
+// ApplyFacet moves the particle's cell across the encountered facet, or
+// reflects its direction if the facet is a domain boundary (reflective
+// boundary conditions keep the particle population conserved, §IV-C).
+// It reports whether the particle was reflected.
+func ApplyFacet(m *mesh.Mesh, p *particle.Particle, axis, dir int) (reflected bool) {
+	if axis == 0 {
+		next := int(p.CellX) + dir
+		if next < 0 || next >= m.NX {
+			p.UX = -p.UX
+			return true
+		}
+		p.CellX = int32(next)
+		return false
+	}
+	next := int(p.CellY) + dir
+	if next < 0 || next >= m.NY {
+		p.UY = -p.UY
+		return true
+	}
+	p.CellY = int32(next)
+	return false
+}
+
+// CollisionResult reports what a collision did, for instrumentation and
+// conservation audits.
+type CollisionResult struct {
+	// Deposited is the weight-scaled energy (weight-eV) added to the
+	// particle's deposit register by this collision.
+	Deposited float64
+	// Died reports whether the history was terminated by the cutoffs.
+	Died bool
+}
+
+// Collide handles a collision event (paper §IV-A, §IV-E): implicit capture
+// reduces the particle weight by the absorption fraction, an elastic
+// scatter redirects the particle and dampens its energy, and the weight and
+// energy cutoffs terminate exhausted histories, depositing their remaining
+// energy.
+//
+// Three random numbers are consumed, exactly the draws the paper lists: the
+// angle of scattering, the level of energy dampening, and the new number of
+// mean free paths until the next collision.
+func Collide(ctx *Context, p *particle.Particle, s *rng.Stream, sigmaA, sigmaS float64) CollisionResult {
+	var res CollisionResult
+	sigmaT := sigmaA + sigmaS
+
+	// Implicit capture: the absorbed share of the weight deposits its
+	// energy; the history continues with reduced weight.
+	absorbed := p.Weight * sigmaA / sigmaT
+	res.Deposited += absorbed * p.Energy
+	p.Weight -= absorbed
+
+	// Elastic scatter: redirect and dampen. The three paper draws:
+	theta := 2 * math.Pi * s.Uniform() // angle of scattering
+	damp := s.UniformOpen()            // energy dampening level
+	// E' is uniform on (alpha*E, E) with alpha = ((A-1)/(A+1))^2 = 0.3,
+	// a light (helium-like) average target: strong moderation, but
+	// per-collision energy steps small enough that the cached
+	// cross-section bin walk stays short (paper §VI-A).
+	newEnergy := p.Energy * (ScatterAlpha + (1-ScatterAlpha)*damp)
+	res.Deposited += p.Weight * (p.Energy - newEnergy)
+	p.Energy = newEnergy
+	p.UX = math.Cos(theta)
+	p.UY = math.Sin(theta)
+	p.MFPToCollision = rng.MeanFreePaths(s) // new mean-free-path budget
+
+	// Cutoff termination: deposit what remains so energy is conserved.
+	if p.Weight < ctx.WeightCutoff || p.Energy < ctx.EnergyCutoff {
+		res.Deposited += p.Weight * p.Energy
+		p.Weight = 0
+		p.Status = particle.Dead
+		res.Died = true
+	}
+
+	p.Deposit += res.Deposited
+	return res
+}

@@ -1,0 +1,272 @@
+package events
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/rng"
+	"repro/internal/xs"
+)
+
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	m, _, err := mesh.Build(mesh.Scatter, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Context{
+		Mesh:         m,
+		XS:           xs.GeneratePair(512),
+		WeightCutoff: DefaultWeightCutoff,
+		EnergyCutoff: DefaultEnergyCutoff,
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	// 10 MeV neutron: ~4.4e7 m/s.
+	v := Speed(1e7)
+	if v < 4.2e7 || v < 0 || v > 4.6e7 {
+		t.Fatalf("Speed(10 MeV) = %.3g m/s, want ~4.4e7", v)
+	}
+	// Thermal neutron: ~2200 m/s at 0.0253 eV.
+	vt := Speed(0.0253)
+	if vt < 2000 || vt > 2400 {
+		t.Fatalf("Speed(thermal) = %.3g m/s, want ~2200", vt)
+	}
+	// Monotone in energy.
+	if Speed(2e6) <= Speed(1e6) {
+		t.Fatal("speed not monotone in energy")
+	}
+}
+
+func TestDistanceToCollision(t *testing.T) {
+	if d := DistanceToCollision(2.0, 4.0); d != 0.5 {
+		t.Fatalf("DistanceToCollision(2, 4) = %v, want 0.5", d)
+	}
+	if d := DistanceToCollision(1.0, 0); !math.IsInf(d, 1) {
+		t.Fatalf("void material should never collide, got %v", d)
+	}
+	if d := DistanceToCollision(1.0, MinSigmaT/2); !math.IsInf(d, 1) {
+		t.Fatalf("below-threshold sigma should be void, got %v", d)
+	}
+}
+
+func TestDistanceToCensus(t *testing.T) {
+	if d := DistanceToCensus(1e-7, 4.4e7); math.Abs(d-4.4) > 1e-9 {
+		t.Fatalf("DistanceToCensus = %v, want 4.4", d)
+	}
+}
+
+func TestDistanceToFacetAxisCases(t *testing.T) {
+	m, err := mesh.New(10, 10, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell (5,5) spans [0.5,0.6] x [0.5,0.6]; particle in the middle.
+	const x, y = 0.55, 0.55
+	cases := []struct {
+		ux, uy   float64
+		wantD    float64
+		wantAxis int
+		wantDir  int
+	}{
+		{1, 0, 0.05, 0, 1},
+		{-1, 0, 0.05, 0, -1},
+		{0, 1, 0.05, 1, 1},
+		{0, -1, 0.05, 1, -1},
+		{math.Sqrt2 / 2, math.Sqrt2 / 2, 0.05 * math.Sqrt2, 0, 1}, // exact diagonal: x wins ties
+	}
+	for _, c := range cases {
+		d, axis, dir := DistanceToFacet(m, x, y, c.ux, c.uy, 5, 5)
+		if math.Abs(d-c.wantD) > 1e-12 || axis != c.wantAxis || dir != c.wantDir {
+			t.Errorf("DistanceToFacet(dir %v,%v) = (%v, %d, %d), want (%v, %d, %d)",
+				c.ux, c.uy, d, axis, dir, c.wantD, c.wantAxis, c.wantDir)
+		}
+	}
+}
+
+// TestDistanceToFacetProperty verifies against brute force: the returned
+// distance lands the particle on a grid line of the reported axis, and no
+// grid line is crossed before it.
+func TestDistanceToFacetProperty(t *testing.T) {
+	m, err := mesh.New(16, 16, 2.5, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		s := rng.NewStream(seed, 0)
+		x := 2.5 * s.Uniform()
+		y := 2.5 * s.Uniform()
+		ux, uy := rng.IsotropicDirection(&s)
+		cx, cy := m.CellOf(x, y)
+		d, axis, dir := DistanceToFacet(m, x, y, ux, uy, int32(cx), int32(cy))
+		if d < 0 || dir == 0 {
+			return false
+		}
+		// Landing point on the reported facet line.
+		nx, ny := x+ux*d, y+uy*d
+		var onLine bool
+		if axis == 0 {
+			fx := m.FacetX(cx)
+			if dir > 0 {
+				fx = m.FacetX(cx + 1)
+			}
+			onLine = math.Abs(nx-fx) < 1e-9
+		} else {
+			fy := m.FacetY(cy)
+			if dir > 0 {
+				fy = m.FacetY(cy + 1)
+			}
+			onLine = math.Abs(ny-fy) < 1e-9
+		}
+		// The interior of the segment stays inside the cell box
+		// (sample a few interior points).
+		for _, f := range []float64{0.25, 0.5, 0.75} {
+			px, py := x+ux*d*f, y+uy*d*f
+			if px < m.FacetX(cx)-1e-9 || px > m.FacetX(cx+1)+1e-9 ||
+				py < m.FacetY(cy)-1e-9 || py > m.FacetY(cy+1)+1e-9 {
+				return false
+			}
+		}
+		return onLine
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyFacetTransitionAndReflection(t *testing.T) {
+	m, _ := mesh.New(4, 4, 1, 1, 1)
+	p := &particle.Particle{CellX: 1, CellY: 2, UX: 0.6, UY: 0.8}
+
+	if reflected := ApplyFacet(m, p, 0, 1); reflected || p.CellX != 2 {
+		t.Fatalf("interior x transition failed: reflected=%v cell=%d", reflected, p.CellX)
+	}
+	if reflected := ApplyFacet(m, p, 1, -1); reflected || p.CellY != 1 {
+		t.Fatalf("interior y transition failed")
+	}
+
+	// Drive to the +x boundary and reflect.
+	p.CellX = 3
+	if reflected := ApplyFacet(m, p, 0, 1); !reflected || p.CellX != 3 || p.UX != -0.6 {
+		t.Fatalf("+x reflection failed: %+v", p)
+	}
+	// -y boundary.
+	p.CellY = 0
+	if reflected := ApplyFacet(m, p, 1, -1); !reflected || p.CellY != 0 || p.UY != -0.8 {
+		t.Fatalf("-y reflection failed: %+v", p)
+	}
+	// Reflection preserves the direction norm.
+	if r := p.UX*p.UX + p.UY*p.UY; math.Abs(r-1) > 1e-12 {
+		t.Fatalf("reflection broke unit direction: %v", r)
+	}
+}
+
+// TestCollideConservesEnergy is the core physics invariant: weight-energy
+// before the collision equals weight-energy after plus the deposit.
+func TestCollideConservesEnergy(t *testing.T) {
+	ctx := testContext(t)
+	f := func(seed uint64) bool {
+		s := rng.NewStream(seed, 1)
+		p := &particle.Particle{
+			Energy: 1e3 + 1e7*s.Uniform(),
+			Weight: 0.03 + s.Uniform(),
+			UX:     1,
+			Status: particle.Alive,
+		}
+		before := p.Weight * p.Energy
+		sigmaA := ctx.XS.Capture.LookupBinary(p.Energy)
+		sigmaS := ctx.XS.Scatter.LookupBinary(p.Energy)
+		res := Collide(ctx, p, &s, sigmaA, sigmaS)
+		after := p.Weight * p.Energy
+		if p.Status == particle.Dead {
+			after = 0
+		}
+		return math.Abs(before-(after+res.Deposited)) < 1e-9*before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollideReducesWeightAndEnergy(t *testing.T) {
+	ctx := testContext(t)
+	s := rng.NewStream(1, 2)
+	p := &particle.Particle{Energy: 1e7, Weight: 1, UX: 1, Status: particle.Alive}
+	sigmaA := ctx.XS.Capture.LookupBinary(p.Energy)
+	sigmaS := ctx.XS.Scatter.LookupBinary(p.Energy)
+	Collide(ctx, p, &s, sigmaA, sigmaS)
+	if p.Weight >= 1 {
+		t.Errorf("implicit capture did not reduce weight: %v", p.Weight)
+	}
+	if p.Energy >= 1e7 {
+		t.Errorf("elastic scatter did not dampen energy: %v", p.Energy)
+	}
+	if r := p.UX*p.UX + p.UY*p.UY; math.Abs(r-1) > 1e-12 {
+		t.Errorf("scattered direction not unit: %v", r)
+	}
+	if p.MFPToCollision <= 0 {
+		t.Errorf("mean free paths not resampled: %v", p.MFPToCollision)
+	}
+}
+
+func TestCollideConsumesExactlyThreeDraws(t *testing.T) {
+	ctx := testContext(t)
+	s := rng.NewStream(5, 6)
+	p := &particle.Particle{Energy: 1e7, Weight: 1, UX: 1, Status: particle.Alive}
+	before := s.Counter()
+	Collide(ctx, p, &s, 10, 30)
+	if got := s.Counter() - before; got != 3 {
+		t.Fatalf("collision consumed %d draws, want 3 (angle, dampening, mean free paths)", got)
+	}
+}
+
+func TestCollideCutoffTermination(t *testing.T) {
+	ctx := testContext(t)
+
+	// Weight cutoff: a particle arriving just above the cutoff dies after
+	// absorption share is removed.
+	s := rng.NewStream(7, 8)
+	p := &particle.Particle{Energy: 1e7, Weight: ctx.WeightCutoff * 1.01, UX: 1, Status: particle.Alive}
+	res := Collide(ctx, p, &s, 20, 20) // 50% absorbed: weight halves, below cutoff
+	if !res.Died || p.Status != particle.Dead || p.Weight != 0 {
+		t.Fatalf("weight cutoff did not terminate: %+v", p)
+	}
+
+	// Energy cutoff: dampening below the cutoff terminates. With E'
+	// uniform on (0.3E, E) and E = 2*cutoff, the death probability per
+	// collision is P(damp < 0.5) = (0.5-0.3)/0.7 ~ 0.286.
+	deaths := 0
+	for seed := uint64(0); seed < 200; seed++ {
+		s := rng.NewStream(seed, 9)
+		p := &particle.Particle{Energy: ctx.EnergyCutoff * 2, Weight: 1, UX: 1, Status: particle.Alive}
+		if res := Collide(ctx, p, &s, 1, 100); res.Died {
+			deaths++
+			if p.Weight != 0 {
+				t.Fatal("dead particle retains weight")
+			}
+		}
+	}
+	if deaths < 30 || deaths > 90 {
+		t.Fatalf("energy-cutoff deaths = %d/200, want ~57", deaths)
+	}
+}
+
+func TestCollideDepositAccumulatesInRegister(t *testing.T) {
+	ctx := testContext(t)
+	s := rng.NewStream(11, 12)
+	p := &particle.Particle{Energy: 1e7, Weight: 1, UX: 1, Status: particle.Alive, Deposit: 5}
+	res := Collide(ctx, p, &s, 10, 30)
+	if math.Abs(p.Deposit-(5+res.Deposited)) > 1e-12 {
+		t.Fatalf("deposit register = %v, want %v", p.Deposit, 5+res.Deposited)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if Collision.String() != "collision" || Facet.String() != "facet" || Census.String() != "census" {
+		t.Fatal("event type names wrong")
+	}
+}

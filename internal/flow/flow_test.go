@@ -1,0 +1,96 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 10, 0, 0); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	if _, err := New(10, 10, 1.5, 0); err == nil {
+		t.Error("CFL-violating velocity accepted")
+	}
+	if _, err := New(10, 10, 0.5, -0.5); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestMassConservation: Lax–Friedrichs with periodic boundaries conserves
+// the total field exactly (up to rounding).
+func TestMassConservation(t *testing.T) {
+	s, err := New(64, 64, 0.4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Mass()
+	s.Run(50, 4)
+	if rel := math.Abs(s.Mass()-m0) / m0; rel > 1e-12 {
+		t.Fatalf("mass drifted by %.3g over 50 steps", rel)
+	}
+	if s.Steps() != 50 {
+		t.Fatalf("step count = %d", s.Steps())
+	}
+}
+
+// TestAdvectionMovesBump: after enough steps with +x velocity the field
+// peak moves right (modulo diffusion).
+func TestAdvectionMovesBump(t *testing.T) {
+	s, _ := New(128, 128, 0.5, 0)
+	peakX := func() int {
+		best, arg := -1.0, 0
+		for i, v := range s.Field() {
+			if v > best {
+				best, arg = v, i
+			}
+		}
+		return arg % s.NX
+	}
+	x0 := peakX()
+	s.Run(40, 2)
+	x1 := peakX()
+	moved := (x1 - x0 + s.NX) % s.NX
+	if moved < 10 || moved > 30 {
+		t.Fatalf("peak moved %d cells after 40 steps at v=0.5, want ~20", moved)
+	}
+}
+
+// TestThreadCountInvariance: the decomposition must not change results.
+func TestThreadCountInvariance(t *testing.T) {
+	a, _ := New(96, 96, 0.3, 0.3)
+	b, _ := New(96, 96, 0.3, 0.3)
+	a.Run(20, 1)
+	b.Run(20, 7)
+	fa, fb := a.Field(), b.Field()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("cell %d differs across thread counts: %v vs %v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestFieldStaysFinite(t *testing.T) {
+	s, _ := New(32, 32, 1, 1) // CFL boundary
+	s.Run(200, 3)
+	for i, v := range s.Field() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("cell %d diverged: %v", i, v)
+		}
+	}
+}
+
+func TestBytesPerStep(t *testing.T) {
+	s, _ := New(100, 50, 0, 0)
+	if got := s.BytesPerStep(); got != 100*50*8*2 {
+		t.Fatalf("BytesPerStep = %v", got)
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	s, _ := New(512, 512, 0.4, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(4)
+	}
+}

@@ -1,0 +1,134 @@
+package hot
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 10, 0.1); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	if _, err := New(10, 10, 0); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := New(10, 10, -1); err == nil {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestCGConverges(t *testing.T) {
+	s, err := New(64, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := s.Step(4)
+	if iters <= 0 || iters >= s.MaxIter {
+		t.Fatalf("CG iterations = %d (max %d)", iters, s.MaxIter)
+	}
+	if r := s.Residual(4); r > 1e-6 {
+		t.Fatalf("post-solve residual = %.3g", r)
+	}
+}
+
+// TestOperatorSymmetry: CG requires a symmetric operator; check
+// dot(A x, y) == dot(x, A y) on random-ish vectors.
+func TestOperatorSymmetry(t *testing.T) {
+	s, _ := New(24, 24, 0.7)
+	n := 24 * 24
+	x := make([]float64, n)
+	y := make([]float64, n)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = math.Sin(float64(3*i + 1))
+		y[i] = math.Cos(float64(7*i + 2))
+	}
+	s.apply(x, ax, 2)
+	s.apply(y, ay, 2)
+	lhs := dot(ax, y, 1)
+	rhs := dot(x, ay, 1)
+	if math.Abs(lhs-rhs) > 1e-9*math.Max(math.Abs(lhs), 1) {
+		t.Fatalf("operator not symmetric: %v vs %v", lhs, rhs)
+	}
+}
+
+// TestDiffusionSmooths: the hot square must spread and its peak decay,
+// while the total heat decreases only through the Dirichlet walls.
+func TestDiffusionSmooths(t *testing.T) {
+	s, _ := New(48, 48, 0.4)
+	h0 := s.Heat()
+	peak := func() float64 {
+		best := -1.0
+		for _, v := range s.Field() {
+			if v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	p0 := peak()
+	s.Run(5, 4)
+	if p := peak(); p >= p0 {
+		t.Fatalf("peak did not decay: %v -> %v", p0, p)
+	}
+	h := s.Heat()
+	if h > h0 {
+		t.Fatalf("heat increased: %v -> %v", h0, h)
+	}
+	if h < 0.2*h0 {
+		t.Fatalf("heat vanished implausibly fast: %v -> %v", h0, h)
+	}
+}
+
+// TestThreadCountInvariance: dot products partial-sum in a fixed
+// per-thread-count order, so different thread counts may differ by
+// rounding only.
+func TestThreadCountInvariance(t *testing.T) {
+	a, _ := New(48, 48, 0.4)
+	b, _ := New(48, 48, 0.4)
+	a.Run(3, 1)
+	b.Run(3, 6)
+	fa, fb := a.Field(), b.Field()
+	for i := range fa {
+		if d := math.Abs(fa[i] - fb[i]); d > 1e-6*(1+math.Abs(fa[i])) {
+			t.Fatalf("cell %d differs beyond tolerance: %v vs %v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestUniformZeroFieldNoIterations(t *testing.T) {
+	s, _ := New(16, 16, 0.3)
+	for i := range s.t {
+		s.t[i] = 0
+	}
+	if iters := s.Step(2); iters != 0 {
+		t.Fatalf("CG on zero field took %d iterations", iters)
+	}
+}
+
+func TestBytesPerIteration(t *testing.T) {
+	s, _ := New(10, 10, 0.3)
+	if s.BytesPerIteration() != 10*10*8*7 {
+		t.Fatal("BytesPerIteration wrong")
+	}
+}
+
+func BenchmarkCGStep(b *testing.B) {
+	s, _ := New(256, 256, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(4)
+		b.StopTimer()
+		// Reheat so every iteration solves the same problem.
+		for j := range s.t {
+			s.t[j] = 0
+		}
+		for j := 256 / 3; j < 2*256/3; j++ {
+			for i := 256 / 3; i < 2*256/3; i++ {
+				s.t[j*256+i] = 100
+			}
+		}
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,190 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		nx, ny        int
+		w, h, density float64
+	}{
+		{0, 10, 1, 1, 1},
+		{10, 0, 1, 1, 1},
+		{-1, 10, 1, 1, 1},
+		{10, 10, 0, 1, 1},
+		{10, 10, 1, -1, 1},
+		{10, 10, 1, 1, -5},
+	}
+	for _, c := range cases {
+		if _, err := New(c.nx, c.ny, c.w, c.h, c.density); err == nil {
+			t.Errorf("New(%d,%d,%v,%v,%v): expected error", c.nx, c.ny, c.w, c.h, c.density)
+		}
+	}
+	m, err := New(4, 8, 2, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DX != 0.5 || m.DY != 0.5 {
+		t.Errorf("cell pitch = %v, %v, want 0.5, 0.5", m.DX, m.DY)
+	}
+	if m.NumCells() != 32 {
+		t.Errorf("NumCells = %d, want 32", m.NumCells())
+	}
+}
+
+func TestCellOfRoundTrip(t *testing.T) {
+	m, err := New(16, 16, 2.5, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(fx, fy float64) bool {
+		// Map to interior coordinates.
+		x := math.Mod(math.Abs(fx), 2.5)
+		y := math.Mod(math.Abs(fy), 2.5)
+		if math.IsNaN(x) {
+			x = 0.1
+		}
+		if math.IsNaN(y) {
+			y = 0.1
+		}
+		cx, cy := m.CellOf(x, y)
+		inX := m.FacetX(cx) <= x && x <= m.FacetX(cx+1)
+		inY := m.FacetY(cy) <= y && y <= m.FacetY(cy+1)
+		return inX && inY
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellOfClampsBoundary(t *testing.T) {
+	m, _ := New(10, 10, 1, 1, 1)
+	for _, c := range []struct {
+		x, y           float64
+		wantCX, wantCY int
+	}{
+		{-0.1, 0.5, 0, 5},
+		{1.1, 0.5, 9, 5},
+		{0.5, -1, 5, 0},
+		{0.5, 2, 5, 9},
+		{1.0, 1.0, 9, 9}, // exactly on the far boundary
+	} {
+		cx, cy := m.CellOf(c.x, c.y)
+		if cx != c.wantCX || cy != c.wantCY {
+			t.Errorf("CellOf(%v,%v) = (%d,%d), want (%d,%d)", c.x, c.y, cx, cy, c.wantCX, c.wantCY)
+		}
+	}
+}
+
+func TestSetRegionAndDensity(t *testing.T) {
+	m, _ := New(9, 9, 1, 1, 0.5)
+	m.SetRegion(3, 3, 6, 6, 100)
+	for cy := 0; cy < 9; cy++ {
+		for cx := 0; cx < 9; cx++ {
+			want := 0.5
+			if cx >= 3 && cx < 6 && cy >= 3 && cy < 6 {
+				want = 100
+			}
+			if got := m.Density(cx, cy); got != want {
+				t.Fatalf("density(%d,%d) = %v, want %v", cx, cy, got, want)
+			}
+		}
+	}
+	// Region clamping: out-of-range boxes must not panic and must clip.
+	m.SetRegion(-5, -5, 100, 2, 7)
+	if m.Density(0, 0) != 7 || m.Density(8, 1) != 7 || m.Density(0, 2) == 7 {
+		t.Error("SetRegion clamping wrong")
+	}
+}
+
+func TestSingleCellMesh(t *testing.T) {
+	m, err := New(1, 1, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, cy := m.CellOf(0.5, 0.5)
+	if cx != 0 || cy != 0 {
+		t.Fatalf("CellOf on single-cell mesh = (%d,%d)", cx, cy)
+	}
+	if m.Density(0, 0) != 3 {
+		t.Fatal("density lost on single-cell mesh")
+	}
+}
+
+func TestBuildProblems(t *testing.T) {
+	for _, p := range []Problem{Stream, Scatter, CSP} {
+		m, spec, err := Build(p, 120, 120)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if spec.Problem != p {
+			t.Fatalf("%v: spec problem mismatch", p)
+		}
+		sb := spec.Source
+		if sb.X0 >= sb.X1 || sb.Y0 >= sb.Y1 {
+			t.Fatalf("%v: degenerate source box %+v", p, sb)
+		}
+		if sb.X0 < 0 || sb.X1 > Extent || sb.Y0 < 0 || sb.Y1 > Extent {
+			t.Fatalf("%v: source box %+v outside domain", p, sb)
+		}
+		switch p {
+		case Stream:
+			if m.Density(0, 0) != VacuumDensity || m.Density(60, 60) != VacuumDensity {
+				t.Errorf("stream mesh not homogeneous vacuum")
+			}
+		case Scatter:
+			if m.Density(0, 0) != DenseDensity || m.Density(60, 60) != DenseDensity {
+				t.Errorf("scatter mesh not homogeneous dense")
+			}
+		case CSP:
+			if m.Density(60, 60) != DenseDensity {
+				t.Errorf("csp centre square missing")
+			}
+			if m.Density(0, 0) != VacuumDensity || m.Density(119, 119) != VacuumDensity {
+				t.Errorf("csp corners not vacuum")
+			}
+			// Source must be in the bottom-left vacuum region.
+			cx, cy := m.CellOf(sb.X0, sb.Y0)
+			if m.Density(cx, cy) != VacuumDensity {
+				t.Errorf("csp source sits in dense region")
+			}
+		}
+	}
+}
+
+func TestParseProblem(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Problem
+	}{{"stream", Stream}, {"scatter", Scatter}, {"csp", CSP}} {
+		got, err := ParseProblem(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseProblem(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseProblem("bogus"); err == nil {
+		t.Error("ParseProblem(bogus) did not fail")
+	}
+	for _, p := range []Problem{Stream, Scatter, CSP} {
+		back, err := ParseProblem(p.String())
+		if err != nil || back != p {
+			t.Errorf("round trip failed for %v", p)
+		}
+	}
+}
+
+func TestFacetCoordinates(t *testing.T) {
+	m, _ := New(4, 5, 2, 2.5, 1)
+	if m.FacetX(0) != 0 || m.FacetX(4) != 2 {
+		t.Errorf("x facets wrong: %v %v", m.FacetX(0), m.FacetX(4))
+	}
+	if m.FacetY(0) != 0 || m.FacetY(5) != 2.5 {
+		t.Errorf("y facets wrong: %v %v", m.FacetY(0), m.FacetY(5))
+	}
+	if d := m.FacetX(2) - m.FacetX(1); math.Abs(d-m.DX) > 1e-15 {
+		t.Errorf("facet pitch %v != DX %v", d, m.DX)
+	}
+}

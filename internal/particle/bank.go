@@ -1,0 +1,209 @@
+package particle
+
+import "fmt"
+
+// Layout selects the memory layout of a Bank.
+type Layout int
+
+const (
+	// AoS stores one contiguous struct per particle. Best CPU layout for
+	// Over Particles (paper Fig 5).
+	AoS Layout = iota
+	// SoA stores one contiguous array per field. The only layout used on
+	// GPUs; on CPUs it loads a cache line per field per particle.
+	SoA
+)
+
+// String names the layout as in the paper.
+func (l Layout) String() string {
+	switch l {
+	case AoS:
+		return "aos"
+	case SoA:
+		return "soa"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// ParseLayout converts a name to a Layout.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "aos":
+		return AoS, nil
+	case "soa":
+		return SoA, nil
+	default:
+		return 0, fmt.Errorf("particle: unknown layout %q (want aos or soa)", s)
+	}
+}
+
+// Bank is a fixed-capacity store of particles in either layout. Load and
+// Store move particles between the bank and register-resident working
+// copies; they are the only access path, so the layout difference is purely
+// a memory-behaviour difference, exactly as in the C mini-app.
+type Bank struct {
+	layout Layout
+	n      int
+
+	// AoS storage.
+	aos []Particle
+
+	// SoA storage, one slice per field.
+	x, y, ux, uy, energy, weight []float64
+	mfp, tcens, deposit          []float64
+	sigmaA, sigmaS               []float64
+	cellX, cellY, xsIndex        []int32
+	rngCounter, id               []uint64
+	status                       []Status
+}
+
+// NewBank allocates a bank of n particles in the given layout.
+func NewBank(layout Layout, n int) *Bank {
+	b := &Bank{layout: layout, n: n}
+	switch layout {
+	case AoS:
+		b.aos = make([]Particle, n)
+	case SoA:
+		b.x = make([]float64, n)
+		b.y = make([]float64, n)
+		b.ux = make([]float64, n)
+		b.uy = make([]float64, n)
+		b.energy = make([]float64, n)
+		b.weight = make([]float64, n)
+		b.mfp = make([]float64, n)
+		b.tcens = make([]float64, n)
+		b.deposit = make([]float64, n)
+		b.sigmaA = make([]float64, n)
+		b.sigmaS = make([]float64, n)
+		b.cellX = make([]int32, n)
+		b.cellY = make([]int32, n)
+		b.xsIndex = make([]int32, n)
+		b.rngCounter = make([]uint64, n)
+		b.id = make([]uint64, n)
+		b.status = make([]Status, n)
+	default:
+		panic(fmt.Sprintf("particle: unknown layout %v", layout))
+	}
+	return b
+}
+
+// Layout reports the bank's memory layout.
+func (b *Bank) Layout() Layout { return b.layout }
+
+// Len reports the particle count.
+func (b *Bank) Len() int { return b.n }
+
+// Load copies particle i into the working copy p.
+func (b *Bank) Load(i int, p *Particle) {
+	if b.layout == AoS {
+		*p = b.aos[i]
+		return
+	}
+	p.X = b.x[i]
+	p.Y = b.y[i]
+	p.UX = b.ux[i]
+	p.UY = b.uy[i]
+	p.Energy = b.energy[i]
+	p.Weight = b.weight[i]
+	p.MFPToCollision = b.mfp[i]
+	p.TimeToCensus = b.tcens[i]
+	p.Deposit = b.deposit[i]
+	p.CachedSigmaA = b.sigmaA[i]
+	p.CachedSigmaS = b.sigmaS[i]
+	p.CellX = b.cellX[i]
+	p.CellY = b.cellY[i]
+	p.XSIndex = b.xsIndex[i]
+	p.RNGCounter = b.rngCounter[i]
+	p.ID = b.id[i]
+	p.Status = b.status[i]
+}
+
+// Store copies the working copy p back into slot i.
+func (b *Bank) Store(i int, p *Particle) {
+	if b.layout == AoS {
+		b.aos[i] = *p
+		return
+	}
+	b.x[i] = p.X
+	b.y[i] = p.Y
+	b.ux[i] = p.UX
+	b.uy[i] = p.UY
+	b.energy[i] = p.Energy
+	b.weight[i] = p.Weight
+	b.mfp[i] = p.MFPToCollision
+	b.tcens[i] = p.TimeToCensus
+	b.deposit[i] = p.Deposit
+	b.sigmaA[i] = p.CachedSigmaA
+	b.sigmaS[i] = p.CachedSigmaS
+	b.cellX[i] = p.CellX
+	b.cellY[i] = p.CellY
+	b.xsIndex[i] = p.XSIndex
+	b.rngCounter[i] = p.RNGCounter
+	b.id[i] = p.ID
+	b.status[i] = p.Status
+}
+
+// StatusOf reads only the status of slot i; Over Events kernels use this to
+// gather active particles without loading whole records.
+func (b *Bank) StatusOf(i int) Status {
+	if b.layout == AoS {
+		return b.aos[i].Status
+	}
+	return b.status[i]
+}
+
+// SetStatus writes only the status of slot i.
+func (b *Bank) SetStatus(i int, s Status) {
+	if b.layout == AoS {
+		b.aos[i].Status = s
+		return
+	}
+	b.status[i] = s
+}
+
+// CountStatus tallies particles by status.
+func (b *Bank) CountStatus() (alive, census, dead int) {
+	for i := 0; i < b.n; i++ {
+		switch b.StatusOf(i) {
+		case Alive:
+			alive++
+		case Census:
+			census++
+		case Dead:
+			dead++
+		}
+	}
+	return alive, census, dead
+}
+
+// TotalWeight sums particle weights across the bank (population
+// conservation audits).
+func (b *Bank) TotalWeight() float64 {
+	var sum float64
+	var p Particle
+	for i := 0; i < b.n; i++ {
+		b.Load(i, &p)
+		sum += p.Weight
+	}
+	return sum
+}
+
+// TotalEnergy sums weight-scaled kinetic energy across the bank, in
+// weight-eV (energy conservation audits).
+func (b *Bank) TotalEnergy() float64 {
+	var sum float64
+	var p Particle
+	for i := 0; i < b.n; i++ {
+		b.Load(i, &p)
+		if p.Status != Dead {
+			sum += p.Weight * p.Energy
+		}
+	}
+	return sum
+}
+
+// BytesPerParticle reports the storage footprint of one particle record;
+// the architecture model uses it to estimate streaming traffic in the Over
+// Events scheme.
+const BytesPerParticle = 11*8 + 3*4 + 2*8 + 1 // floats + int32s + uint64s + status

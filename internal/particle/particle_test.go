@@ -1,0 +1,203 @@
+package particle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mesh"
+)
+
+func TestLayoutRoundTrip(t *testing.T) {
+	for _, layout := range []Layout{AoS, SoA} {
+		b := NewBank(layout, 8)
+		want := Particle{
+			X: 1.5, Y: 2.5, UX: 0.6, UY: 0.8,
+			Energy: 1e6, Weight: 0.75,
+			MFPToCollision: 1.25, TimeToCensus: 3e-8, Deposit: 42,
+			CellX: 7, CellY: 9, XSIndex: 123,
+			RNGCounter: 999, ID: 5, Status: Census,
+		}
+		b.Store(3, &want)
+		var got Particle
+		b.Load(3, &got)
+		if got != want {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", layout, got, want)
+		}
+		// Other slots untouched.
+		b.Load(2, &got)
+		if got != (Particle{}) {
+			t.Errorf("%v: neighbouring slot contaminated: %+v", layout, got)
+		}
+	}
+}
+
+// TestLayoutsEquivalent stores random particles into both layouts and
+// verifies identical read-back: the layout is purely a memory-behaviour
+// choice and must never change results.
+func TestLayoutsEquivalent(t *testing.T) {
+	f := func(x, y, e, w float64, cx, cy int32, id, ctr uint64, st uint8) bool {
+		p := Particle{
+			X: x, Y: y, UX: 1, UY: 0, Energy: math.Abs(e), Weight: math.Abs(w),
+			CellX: cx, CellY: cy, ID: id, RNGCounter: ctr, Status: Status(st % 3),
+		}
+		a := NewBank(AoS, 4)
+		s := NewBank(SoA, 4)
+		a.Store(1, &p)
+		s.Store(1, &p)
+		var pa, ps Particle
+		a.Load(1, &pa)
+		s.Load(1, &ps)
+		return pa == ps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusFastPath(t *testing.T) {
+	for _, layout := range []Layout{AoS, SoA} {
+		b := NewBank(layout, 4)
+		b.SetStatus(2, Dead)
+		if b.StatusOf(2) != Dead || b.StatusOf(1) != Alive {
+			t.Errorf("%v: status fast path broken", layout)
+		}
+		var p Particle
+		b.Load(2, &p)
+		if p.Status != Dead {
+			t.Errorf("%v: SetStatus not visible through Load", layout)
+		}
+	}
+}
+
+func TestCountStatus(t *testing.T) {
+	b := NewBank(SoA, 10)
+	for i := 0; i < 10; i++ {
+		switch {
+		case i < 5:
+			b.SetStatus(i, Alive)
+		case i < 8:
+			b.SetStatus(i, Census)
+		default:
+			b.SetStatus(i, Dead)
+		}
+	}
+	alive, census, dead := b.CountStatus()
+	if alive != 5 || census != 3 || dead != 2 {
+		t.Fatalf("CountStatus = %d,%d,%d want 5,3,2", alive, census, dead)
+	}
+}
+
+func TestPopulateDeterministicAcrossLayouts(t *testing.T) {
+	m, spec, err := mesh.Build(mesh.CSP, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	a := NewBank(AoS, n)
+	s := NewBank(SoA, n)
+	Populate(a, m, spec.Source, 1e-7, 42)
+	Populate(s, m, spec.Source, 1e-7, 42)
+	var pa, ps Particle
+	for i := 0; i < n; i++ {
+		a.Load(i, &pa)
+		s.Load(i, &ps)
+		if pa != ps {
+			t.Fatalf("particle %d differs across layouts:\n%+v\n%+v", i, pa, ps)
+		}
+	}
+}
+
+func TestPopulateInvariants(t *testing.T) {
+	m, spec, err := mesh.Build(mesh.Stream, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	b := NewBank(AoS, n)
+	Populate(b, m, spec.Source, 1e-7, 7)
+	var p Particle
+	for i := 0; i < n; i++ {
+		b.Load(i, &p)
+		if p.X < spec.Source.X0 || p.X >= spec.Source.X1 ||
+			p.Y < spec.Source.Y0 || p.Y >= spec.Source.Y1 {
+			t.Fatalf("particle %d born outside source box: (%v, %v)", i, p.X, p.Y)
+		}
+		if r := p.UX*p.UX + p.UY*p.UY; math.Abs(r-1) > 1e-12 {
+			t.Fatalf("particle %d direction not unit: %v", i, r)
+		}
+		if p.Energy != SourceEnergy || p.Weight != SourceWeight {
+			t.Fatalf("particle %d birth energy/weight wrong: %v/%v", i, p.Energy, p.Weight)
+		}
+		if p.MFPToCollision <= 0 {
+			t.Fatalf("particle %d born without sampled mean free paths", i)
+		}
+		if p.TimeToCensus != 1e-7 || p.Status != Alive || p.ID != uint64(i) {
+			t.Fatalf("particle %d birth state wrong: %+v", i, p)
+		}
+		cx, cy := m.CellOf(p.X, p.Y)
+		if int32(cx) != p.CellX || int32(cy) != p.CellY {
+			t.Fatalf("particle %d cell coordinates stale", i)
+		}
+	}
+	if w := b.TotalWeight(); math.Abs(w-n*SourceWeight) > 1e-9 {
+		t.Fatalf("total birth weight = %v, want %v", w, float64(n)*SourceWeight)
+	}
+	if e := b.TotalEnergy(); math.Abs(e-n*SourceWeight*SourceEnergy) > 1e-3 {
+		t.Fatalf("total birth energy = %v", e)
+	}
+}
+
+func TestPopulateSeedSensitivity(t *testing.T) {
+	m, spec, _ := mesh.Build(mesh.CSP, 64, 64)
+	a := NewBank(AoS, 100)
+	b := NewBank(AoS, 100)
+	Populate(a, m, spec.Source, 1e-7, 1)
+	Populate(b, m, spec.Source, 1e-7, 2)
+	var pa, pb Particle
+	same := 0
+	for i := 0; i < 100; i++ {
+		a.Load(i, &pa)
+		b.Load(i, &pb)
+		if pa.X == pb.X && pa.Y == pb.Y {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 particles identical across different seeds", same)
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	if l, err := ParseLayout("aos"); err != nil || l != AoS {
+		t.Error("aos parse failed")
+	}
+	if l, err := ParseLayout("soa"); err != nil || l != SoA {
+		t.Error("soa parse failed")
+	}
+	if _, err := ParseLayout("other"); err == nil {
+		t.Error("bogus layout accepted")
+	}
+}
+
+func BenchmarkLoadStoreAoS(b *testing.B) {
+	bank := NewBank(AoS, 1024)
+	var p Particle
+	for i := 0; i < b.N; i++ {
+		idx := i & 1023
+		bank.Load(idx, &p)
+		p.X += 1
+		bank.Store(idx, &p)
+	}
+}
+
+func BenchmarkLoadStoreSoA(b *testing.B) {
+	bank := NewBank(SoA, 1024)
+	var p Particle
+	for i := 0; i < b.N; i++ {
+		idx := i & 1023
+		bank.Load(idx, &p)
+		p.X += 1
+		bank.Store(idx, &p)
+	}
+}

@@ -1,0 +1,37 @@
+package rng
+
+import "math"
+
+// In neutral, random numbers determine: initial particle positions and
+// directions within a bounded source region; and on each collision the
+// scattering angle, the energy dampening, and the number of mean-free-paths
+// until the next collision (paper §IV-F). The samplers below are the single
+// authority for those draws so that Over Particles and Over Events consume
+// identical variate sequences.
+
+// IsotropicDirection samples a uniformly distributed unit direction in 2D.
+func IsotropicDirection(s *Stream) (ux, uy float64) {
+	theta := 2 * math.Pi * s.Uniform()
+	return math.Cos(theta), math.Sin(theta)
+}
+
+// MeanFreePaths samples the number of mean free paths until the next
+// collision: an Exp(1) variate, the standard analogue sampling of the
+// exponential free-flight kernel.
+func MeanFreePaths(s *Stream) float64 {
+	return -math.Log(s.UniformOpen())
+}
+
+// PointInBox samples a uniform position inside the axis-aligned box
+// [x0,x1) x [y0,y1).
+func PointInBox(s *Stream, x0, x1, y0, y1 float64) (x, y float64) {
+	x = x0 + (x1-x0)*s.Uniform()
+	y = y0 + (y1-y0)*s.Uniform()
+	return x, y
+}
+
+// ScatterCosine samples the cosine of the centre-of-mass scattering angle,
+// isotropic in the CM frame: mu ~ U(-1, 1).
+func ScatterCosine(s *Stream) float64 {
+	return 2*s.Uniform() - 1
+}

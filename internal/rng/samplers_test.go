@@ -1,0 +1,102 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsotropicDirectionUnit(t *testing.T) {
+	f := func(seed, id uint64) bool {
+		s := NewStream(seed, id)
+		ux, uy := IsotropicDirection(&s)
+		return math.Abs(ux*ux+uy*uy-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsotropicDirectionCoversQuadrants(t *testing.T) {
+	s := NewStream(17, 0)
+	var quad [4]int
+	const n = 40000
+	for i := 0; i < n; i++ {
+		ux, uy := IsotropicDirection(&s)
+		idx := 0
+		if ux < 0 {
+			idx |= 1
+		}
+		if uy < 0 {
+			idx |= 2
+		}
+		quad[idx]++
+	}
+	for q, c := range quad {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("quadrant %d fraction = %.3f, want 0.25 +/- 0.02", q, frac)
+		}
+	}
+}
+
+func TestMeanFreePathsDistribution(t *testing.T) {
+	s := NewStream(3, 3)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := MeanFreePaths(&s)
+		if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("invalid exponential variate %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp(1) mean = %.4f, want 1 +/- 0.02", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Exp(1) variance = %.4f, want 1 +/- 0.05", variance)
+	}
+}
+
+func TestPointInBoxBounds(t *testing.T) {
+	f := func(seed uint64, a, b float64) bool {
+		// Map arbitrary floats into a bounded interval so the box stays
+		// finite and non-degenerate.
+		a = math.Mod(math.Abs(a), 1e6)
+		b = math.Mod(math.Abs(b), 1e6)
+		if math.IsNaN(a) {
+			a = 0
+		}
+		if math.IsNaN(b) {
+			b = 1
+		}
+		x0 := math.Min(a, b)
+		x1 := math.Max(a, b) + 1 // ensure non-empty
+		s := NewStream(seed, 0)
+		x, y := PointInBox(&s, x0, x1, -2, 5)
+		return x >= x0 && x < x1 && y >= -2 && y < 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterCosineRange(t *testing.T) {
+	s := NewStream(21, 4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		mu := ScatterCosine(&s)
+		if mu < -1 || mu >= 1 {
+			t.Fatalf("scatter cosine %v outside [-1, 1)", mu)
+		}
+		sum += mu
+	}
+	if mean := sum / n; math.Abs(mean) > 0.01 {
+		t.Errorf("scatter cosine mean = %.4f, want 0 (isotropic CM)", mean)
+	}
+}

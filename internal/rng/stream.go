@@ -1,0 +1,66 @@
+package rng
+
+// Stream is a per-particle random number stream. The key identifies the
+// stream (simulation seed in the first word, particle identity in the
+// second); the counter advances by one per block drawn. Because the
+// generator is counter-based, a Stream can be reconstructed at any point
+// from just (seed, particle id, counter) — which is exactly what the Over
+// Events scheme does between kernels, and what makes histories reproducible
+// across thread counts and traversal orders.
+type Stream struct {
+	key [2]uint64
+	ctr uint64
+}
+
+// NewStream returns the stream for a particle id under the simulation seed.
+func NewStream(seed, id uint64) Stream {
+	return Stream{key: [2]uint64{seed, id}}
+}
+
+// ResumeStream reconstructs a stream that has already consumed ctr blocks.
+func ResumeStream(seed, id, ctr uint64) Stream {
+	return Stream{key: [2]uint64{seed, id}, ctr: ctr}
+}
+
+// Counter reports how many blocks the stream has consumed. Persist this in
+// the particle record to resume the stream later.
+func (s *Stream) Counter() uint64 { return s.ctr }
+
+// NextBlock draws the next two raw 64-bit words, advancing the counter once.
+func (s *Stream) NextBlock() [2]uint64 {
+	b := Threefry2x64(s.key, [2]uint64{s.ctr, 0})
+	s.ctr++
+	return b
+}
+
+// Next draws a single raw 64-bit word. One counter increment per draw keeps
+// the particle-persisted state a single integer; the second word of the
+// block is discarded, which costs one extra cipher call per draw but keeps
+// Over Particles and Over Events bit-identical without buffering state.
+func (s *Stream) Next() uint64 {
+	return s.NextBlock()[0]
+}
+
+// twoTo53 is 2^53; dividing a 53-bit integer by it yields a double with a
+// fully random mantissa.
+const twoTo53 = 9007199254740992.0
+
+// Uniform returns a uniformly distributed float64 in the half-open interval
+// [0, 1).
+func (s *Stream) Uniform() float64 {
+	return float64(s.Next()>>11) / twoTo53
+}
+
+// UniformOpen returns a uniformly distributed float64 in the open interval
+// (0, 1). Use it wherever a logarithm of the variate is taken.
+func (s *Stream) UniformOpen() float64 {
+	return (float64(s.Next()>>11) + 0.5) / twoTo53
+}
+
+// UniformPair returns two independent uniforms in [0, 1) from a single
+// cipher block. Samplers that always consume variates in pairs may use it
+// to halve generator cost; both schemes must then call the same sampler.
+func (s *Stream) UniformPair() (float64, float64) {
+	b := s.NextBlock()
+	return float64(b[0]>>11) / twoTo53, float64(b[1]>>11) / twoTo53
+}

@@ -1,0 +1,51 @@
+// Package rng implements the counter-based random number generation used by
+// the neutral mini-app.
+//
+// The paper selects Random123's Threefry generator (Salmon et al., SC'11)
+// because counter-based RNGs (CBRNGs) are stateless: given a (key, counter)
+// pair they deterministically return a random block. Storing a key and a
+// counter per particle makes every particle history reproducible regardless
+// of which thread, scheme (Over Particles vs Over Events) or schedule
+// processes it. This package is a from-scratch port of Threefry-2x64 with the
+// standard 20 rounds.
+package rng
+
+import "math/bits"
+
+// skeinKSParity is the Threefish/Skein key-schedule parity constant. The
+// extended key word is the XOR of all key words with this constant, which
+// prevents an all-zero extended key.
+const skeinKSParity = 0x1BD11BDAA9FC1A22
+
+// threefryRounds is the default round count recommended by Salmon et al. for
+// Threefry-2x64; it passes BigCrush with a large safety margin.
+const threefryRounds = 20
+
+// rot holds the Threefry-2x64 rotation constants, applied cyclically, one per
+// round. They come from the Skein reference specification.
+var rot = [8]uint{16, 42, 12, 31, 16, 32, 24, 21}
+
+// Threefry2x64 applies the 20-round Threefry-2x64 bijection to the counter
+// block ctr under the given key and returns the two output words. It is a
+// pure function: the same (key, ctr) always produces the same block.
+func Threefry2x64(key, ctr [2]uint64) [2]uint64 {
+	var ks [3]uint64
+	ks[0] = key[0]
+	ks[1] = key[1]
+	ks[2] = skeinKSParity ^ key[0] ^ key[1]
+
+	x0 := ctr[0] + ks[0]
+	x1 := ctr[1] + ks[1]
+
+	for r := 0; r < threefryRounds; r++ {
+		x0 += x1
+		x1 = bits.RotateLeft64(x1, int(rot[r&7]))
+		x1 ^= x0
+		if (r+1)%4 == 0 {
+			s := uint64(r+1) / 4
+			x0 += ks[s%3]
+			x1 += ks[(s+1)%3] + s
+		}
+	}
+	return [2]uint64{x0, x1}
+}

@@ -1,0 +1,206 @@
+package xs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		energies []float64
+		sigmas   []float64
+	}{
+		{"length mismatch", []float64{1, 2}, []float64{1}},
+		{"too short", []float64{1}, []float64{1}},
+		{"not increasing", []float64{1, 1}, []float64{1, 2}},
+		{"decreasing", []float64{2, 1}, []float64{1, 2}},
+		{"negative sigma", []float64{1, 2}, []float64{1, -2}},
+		{"nan sigma", []float64{1, 2}, []float64{1, math.NaN()}},
+		{"inf sigma", []float64{1, 2}, []float64{1, math.Inf(1)}},
+	}
+	for _, c := range cases {
+		if _, err := NewTable(Capture, c.energies, c.sigmas); err == nil {
+			t.Errorf("%s: expected error, got none", c.name)
+		}
+	}
+	if _, err := NewTable(Capture, []float64{1, 2, 4}, []float64{3, 2, 1}); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
+
+func TestLookupBinaryExactPointsAndMidpoints(t *testing.T) {
+	tb, err := NewTable(Capture, []float64{1, 2, 4, 8}, []float64{10, 20, 40, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ e, want float64 }{
+		{1, 10}, {2, 20}, {4, 40}, {8, 80}, // grid points
+		{1.5, 15}, {3, 30}, {6, 60}, // midpoints
+		{0.5, 10}, {100, 80}, // clamped outside domain
+	} {
+		if got := tb.LookupBinary(c.e); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("LookupBinary(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+// TestCursorMatchesBinary is the core equivalence property: the cached
+// linear search must agree with the binary search for any energy sequence,
+// no matter how the cache index has been left by previous lookups.
+func TestCursorMatchesBinary(t *testing.T) {
+	tb := GenerateCapture(512)
+	cur := NewCursor(tb)
+	f := func(seedE float64) bool {
+		// Map into the padded domain including out-of-range energies.
+		e := math.Abs(math.Mod(seedE, 3e7))
+		if math.IsNaN(e) {
+			e = 1
+		}
+		return math.Abs(cur.Lookup(e)-tb.LookupBinary(e)) < 1e-9*math.Max(1, tb.LookupBinary(e))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorWalksShortForCorrelatedEnergies(t *testing.T) {
+	tb := GenerateCapture(DefaultPoints)
+	cur := NewCursor(tb)
+	// Emulate a particle slowing down: energy halves per collision, like
+	// the hydrogen-like elastic dampening.
+	e := 1e7
+	cur.Lookup(e)
+	cur.Steps, cur.Lookups = 0, 0
+	for e > 1 {
+		e /= 2
+		cur.Lookup(e)
+	}
+	// On the log grid one energy halving spans ln(2) / (lnE-span / bins)
+	// ~= 240 bins, walked sequentially (prefetch-friendly), versus 13
+	// random jumps for a binary search over the whole table. Assert the
+	// walk matches that geometry rather than degrading to a table scan.
+	if mean := cur.MeanWalk(); mean > 300 {
+		t.Errorf("mean cached walk for correlated lookups = %.1f bins, want ~240", mean)
+	}
+}
+
+func TestCursorSetIndexClamps(t *testing.T) {
+	tb := GenerateCapture(64)
+	cur := NewCursor(tb)
+	cur.SetIndex(-5)
+	if cur.Index() != 0 {
+		t.Errorf("SetIndex(-5) -> %d, want 0", cur.Index())
+	}
+	cur.SetIndex(1 << 20)
+	if cur.Index() != 62 {
+		t.Errorf("SetIndex(big) -> %d, want 62", cur.Index())
+	}
+	// Lookup must still be correct from any installed index.
+	if got, want := cur.Lookup(1.0), tb.LookupBinary(1.0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("lookup after clamped SetIndex = %v, want %v", got, want)
+	}
+}
+
+func TestGeneratedTablesShape(t *testing.T) {
+	p := GeneratePair(DefaultPoints)
+	if p.Capture.Len() != DefaultPoints || p.Scatter.Len() != DefaultPoints {
+		t.Fatalf("table sizes = %d/%d, want %d", p.Capture.Len(), p.Scatter.Len(), DefaultPoints)
+	}
+	// 1/v law: capture at 0.01 eV far exceeds capture at 1 MeV.
+	lo := p.Capture.LookupBinary(0.01)
+	hi := p.Capture.LookupBinary(1e6)
+	if lo < 5*hi {
+		t.Errorf("capture 1/v law violated: sigma(0.01 eV)=%v, sigma(1 MeV)=%v", lo, hi)
+	}
+	// Resonance region exceeds both smooth neighbours.
+	res := p.Capture.LookupBinary(6.7)
+	if res < p.Capture.LookupBinary(1.0) || res < p.Capture.LookupBinary(1e3) {
+		t.Errorf("no resonance bump near 6.7 eV: %v", res)
+	}
+	// Scatter stays within plausible bounds everywhere.
+	for _, e := range EnergyGrid(1000) {
+		s := p.Scatter.LookupBinary(e)
+		if s < 1 || s > 100 {
+			t.Fatalf("scatter sigma(%.3g eV) = %v barns, outside [1, 100]", e, s)
+		}
+	}
+}
+
+func TestEnergyGridProperties(t *testing.T) {
+	g := EnergyGrid(100)
+	if g[0] != 1e-3 || g[len(g)-1] != 2e7 {
+		t.Fatalf("grid endpoints = %v, %v", g[0], g[len(g)-1])
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not strictly increasing at %d", i)
+		}
+	}
+	// Log spacing: ratios approximately constant.
+	r0 := g[1] / g[0]
+	rN := g[len(g)-1] / g[len(g)-2]
+	if math.Abs(r0-rN)/r0 > 0.01 {
+		t.Errorf("grid not log-spaced: first ratio %v, last ratio %v", r0, rN)
+	}
+}
+
+func TestMacroscopicScaling(t *testing.T) {
+	// Linear in both sigma and density.
+	a := Macroscopic(10, 1e3)
+	b := Macroscopic(20, 1e3)
+	c := Macroscopic(10, 2e3)
+	if math.Abs(b-2*a) > 1e-9*a || math.Abs(c-2*a) > 1e-9*a {
+		t.Fatalf("macroscopic cross section not linear: %v %v %v", a, b, c)
+	}
+	// Magnitude check: 38 barns at 1000 kg/m^3 with A=1 g/mol gives a
+	// mean free path below one csp cell width (2.5 m / 4000).
+	sigmaT := Macroscopic(38, 1e3)
+	mfp := 1 / sigmaT
+	if mfp > 2.5/4000 {
+		t.Errorf("dense-problem mean free path %.4g m exceeds cell width %.4g m", mfp, 2.5/4000)
+	}
+	// Near-vacuum density must give an astronomically long mean free path.
+	if l := 1 / Macroscopic(38, 1e-30); l < 1e20 {
+		t.Errorf("vacuum mean free path %.4g m implausibly short", l)
+	}
+}
+
+func BenchmarkLookupBinary(b *testing.B) {
+	tb := GenerateCapture(DefaultPoints)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = tb.LookupBinary(float64(i%20000000) + 0.001)
+	}
+	_ = sink
+}
+
+func BenchmarkLookupCachedCorrelated(b *testing.B) {
+	tb := GenerateCapture(DefaultPoints)
+	cur := NewCursor(tb)
+	e := 1e7
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		e *= 0.7
+		if e < 1e-2 {
+			e = 1e7
+		}
+		sink = cur.Lookup(e)
+	}
+	_ = sink
+}
+
+func BenchmarkLookupBinaryCorrelated(b *testing.B) {
+	tb := GenerateCapture(DefaultPoints)
+	e := 1e7
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		e *= 0.7
+		if e < 1e-2 {
+			e = 1e7
+		}
+		sink = tb.LookupBinary(e)
+	}
+	_ = sink
+}

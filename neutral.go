@@ -1,0 +1,183 @@
+// Package neutral is a Go reproduction of the neutral Monte Carlo neutral
+// particle transport mini-app (Martineau & McIntosh-Smith, IEEE CLUSTER
+// 2017).
+//
+// The package is a facade over the internal implementation:
+//
+//   - Config / Run execute the mini-app with either on-node
+//     parallelisation scheme (Over Particles or Over Events) on goroutine
+//     worker pools, with the paper's scheduling, layout and tally options;
+//   - PredictDevices prices a problem on the analytic models of the
+//     paper's five evaluation devices (Broadwell, KNL, POWER8, K20X, P100);
+//   - Experiments regenerates every table and figure in the paper's
+//     evaluation section.
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package neutral
+
+import (
+	"fmt"
+
+	"repro/internal/archmodel"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
+)
+
+// Re-exported configuration vocabulary. These are aliases, so the full
+// internal API (documented in the respective packages) is available on
+// them.
+type (
+	// Config fully describes a run; obtain one from DefaultConfig or
+	// PaperConfig and adjust.
+	Config = core.Config
+	// Result carries timings, instrumentation counters, the tally and
+	// the conservation audit.
+	Result = core.Result
+	// Schedule is the OpenMP-style work distribution strategy.
+	Schedule = core.Schedule
+	// Figure is one reproduced table/figure from the paper.
+	Figure = harness.Figure
+	// SourceBox is an axis-aligned particle birth region.
+	SourceBox = mesh.SourceBox
+	// Mesh is the structured density mesh (for Config.CustomDensity).
+	Mesh = mesh.Mesh
+	// Particle is the per-particle record (position, direction, energy,
+	// weight, RNG counter); read them from Result.Bank when
+	// Config.KeepBank is set.
+	Particle = particle.Particle
+	// Bank is the particle store in either layout.
+	Bank = particle.Bank
+)
+
+// Scheme constants.
+const (
+	OverParticles = core.OverParticles
+	OverEvents    = core.OverEvents
+)
+
+// Problem constants.
+const (
+	Stream  = mesh.Stream
+	Scatter = mesh.Scatter
+	CSP     = mesh.CSP
+)
+
+// Tally mode constants.
+const (
+	TallyAtomic  = tally.ModeAtomic
+	TallyPrivate = tally.ModePrivate
+	TallySerial  = tally.ModeSerial
+	TallyNull    = tally.ModeNull
+)
+
+// Schedule kind constants.
+const (
+	ScheduleStatic      = core.ScheduleStatic
+	ScheduleStaticChunk = core.ScheduleStaticChunk
+	ScheduleDynamic     = core.ScheduleDynamic
+	ScheduleGuided      = core.ScheduleGuided
+)
+
+// DefaultConfig returns a laptop-scale configuration of the named problem
+// ("stream", "scatter" or "csp"): the paper's physics at reduced mesh
+// resolution and population.
+func DefaultConfig(problem string) (Config, error) {
+	p, err := mesh.ParseProblem(problem)
+	if err != nil {
+		return Config{}, err
+	}
+	return core.Default(p), nil
+}
+
+// PaperConfig returns the full paper-scale configuration: 4000^2 mesh,
+// 1e6 particles (1e7 for scatter), 1e-7 s timestep.
+func PaperConfig(problem string) (Config, error) {
+	p, err := mesh.ParseProblem(problem)
+	if err != nil {
+		return Config{}, err
+	}
+	return core.Paper(p), nil
+}
+
+// Run executes the configured simulation.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// DevicePrediction is one device's modelled runtime for a problem at paper
+// scale.
+type DevicePrediction struct {
+	Device  string
+	Seconds float64
+	// Compute, Latency, Bandwidth, Atomics, Sync are the component
+	// seconds of the roofline-with-latency model.
+	Compute, Latency, Bandwidth, Atomics, Sync float64
+	// TallyFraction is the share of runtime attributed to tallying.
+	TallyFraction float64
+}
+
+// PredictDevices prices the named problem and scheme on all five paper
+// devices at paper scale. The workload is measured from an instrumented
+// reduced-scale run and scaled, exactly as the harness does.
+func PredictDevices(problem, scheme string) ([]DevicePrediction, error) {
+	p, err := mesh.ParseProblem(problem)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.ParseScheme(scheme)
+	if err != nil {
+		return nil, err
+	}
+	w, err := archmodel.MeasureWorkload(p, s)
+	if err != nil {
+		return nil, err
+	}
+	var out []DevicePrediction
+	for _, d := range archmodel.Devices() {
+		o := archmodel.Options{Tally: tally.ModeAtomic, CompactPlacement: true,
+			Vectorised: s == core.OverEvents}
+		if d.FastMem != nil {
+			o.FastMem = true
+		}
+		pr := archmodel.Predict(d, w, o)
+		out = append(out, DevicePrediction{
+			Device:        pr.Device,
+			Seconds:       pr.Seconds,
+			Compute:       pr.Compute,
+			Latency:       pr.Latency,
+			Bandwidth:     pr.Bandwidth,
+			Atomics:       pr.Atomics,
+			Sync:          pr.Sync,
+			TallyFraction: pr.TallyFraction(),
+		})
+	}
+	return out, nil
+}
+
+// Experiments lists the identifiers of every reproducible table/figure.
+func Experiments() []string {
+	var ids []string
+	for _, e := range harness.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one of the paper's figures. scale is "quick",
+// "standard" or "full".
+func RunExperiment(id, scale string) (*Figure, error) {
+	sc, err := harness.ParseScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	exp, err := harness.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	fig, err := exp.Run(harness.Options{Scale: sc})
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", id, err)
+	}
+	return fig, nil
+}
