@@ -1,0 +1,99 @@
+// Command neutral-serve runs the neutral simulation service: a long-lived
+// HTTP/JSON API that queues, schedules, caches and streams neutral runs
+// (see internal/service).
+//
+// Usage:
+//
+//	neutral-serve -addr :8080 -shards 4 -queue-depth 64 -cache 128
+//
+// Submit a job and follow it:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"problem":"csp","particles":100000}'
+//	curl -s localhost:8080/v1/jobs/job-000001/result?wait=true
+//	curl -N localhost:8080/v1/jobs/job-000001/stream
+//
+// The server drains gracefully on SIGINT/SIGTERM: in-flight HTTP requests
+// get a shutdown window, then every queued and running simulation is
+// canceled through its context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "neutral-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		shards     = flag.Int("shards", 0, "worker shards (0 = min(4, GOMAXPROCS))")
+		queueDepth = flag.Int("queue-depth", 0, "queued jobs per shard (0 = 64)")
+		cacheSize  = flag.Int("cache", 0, "result cache entries (0 = 128, negative disables)")
+		threads    = flag.Int("threads-per-job", 0, "solver threads per job (0 = GOMAXPROCS/shards)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown window")
+	)
+	flag.Parse()
+
+	engine := service.New(service.Options{
+		Shards:        *shards,
+		QueueDepth:    *queueDepth,
+		CacheEntries:  *cacheSize,
+		ThreadsPerJob: *threads,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: logRequests(service.NewServer(engine)),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("neutral-serve listening on %s (%d shards)", *addr, engine.Stats().Shards)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		engine.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (drain %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	engine.Close() // cancels every queued and in-flight simulation
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("bye")
+	return nil
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -5,7 +5,10 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/events"
@@ -103,6 +106,72 @@ type Config struct {
 	CustomDensity func(m *mesh.Mesh)
 	// CustomSource overrides the problem's source region when non-nil.
 	CustomSource *mesh.SourceBox
+}
+
+// Progress is a point-in-time completion report for a run started with
+// RunCtx. Done counts the particle histories retired (census or death) so
+// far in the current step, out of the Total in flight when the step began.
+type Progress struct {
+	// Step is the current timestep, 0-based.
+	Step int
+	// Steps is the configured timestep count.
+	Steps int
+	// Done is the number of histories retired in the current step.
+	Done int64
+	// Total is the number of histories in flight at the step's start.
+	Total int64
+}
+
+// Fraction reduces the report to a single completion ratio in [0, 1].
+func (p Progress) Fraction() float64 {
+	if p.Steps == 0 {
+		return 0
+	}
+	step := float64(p.Step)
+	if p.Total > 0 {
+		f := float64(p.Done) / float64(p.Total)
+		if f > 1 {
+			f = 1
+		}
+		step += f
+	}
+	if frac := step / float64(p.Steps); frac < 1 {
+		return frac
+	}
+	return 1
+}
+
+// ProgressFunc observes a run's progress. RunCtx invokes it from a single
+// monitoring goroutine at a bounded rate — never from solver workers — so
+// an implementation may be arbitrarily slow without perturbing the measured
+// kernels.
+type ProgressFunc func(Progress)
+
+// Fingerprint returns a canonical content hash of the configuration: every
+// field that determines the physics, scheduling and instrumentation of a
+// run. Two configs with equal fingerprints and equal seeds replay the same
+// particle histories, so the hash is a safe result-cache key. The second
+// return is false when the config carries a CustomDensity hook — arbitrary
+// code cannot be canonicalised, so such runs must never be served from a
+// cache.
+func (c Config) Fingerprint() (string, bool) {
+	h := sha256.New()
+	fmt.Fprintf(h, "problem=%d nx=%d ny=%d particles=%d dt=%x steps=%d seed=%d ",
+		int(c.Problem), c.NX, c.NY, c.Particles,
+		math.Float64bits(c.Timestep), c.Steps, c.Seed)
+	fmt.Fprintf(h, "threads=%d scheme=%d sched=%d chunk=%d layout=%d tally=%d merge=%t ",
+		c.Threads, int(c.Scheme), int(c.Schedule.Kind), c.Schedule.Chunk,
+		int(c.Layout), int(c.Tally), c.MergePerStep)
+	fmt.Fprintf(h, "xs=%d wcut=%x ecut=%x bank=%t cells=%t ",
+		c.XSPoints, math.Float64bits(c.WeightCutoff),
+		math.Float64bits(c.EnergyCutoff), c.KeepBank, c.KeepCells)
+	if c.CustomSource != nil {
+		s := *c.CustomSource
+		fmt.Fprintf(h, "src=%x,%x,%x,%x ",
+			math.Float64bits(s.X0), math.Float64bits(s.X1),
+			math.Float64bits(s.Y0), math.Float64bits(s.Y1))
+	}
+	return hex.EncodeToString(h.Sum(nil)), c.CustomDensity == nil
 }
 
 // Default returns a configuration sized so a full run completes in well

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/tally"
+)
+
+// TestRunCtxMatchesRun asserts that the cancellation plumbing is inert when
+// the context is never canceled: RunCtx must reproduce Run bit for bit.
+// The private tally fixes the reduction order (the atomic tally
+// reassociates float adds between any two multithreaded runs), so the
+// comparison is exact.
+func TestRunCtxMatchesRun(t *testing.T) {
+	for _, scheme := range []Scheme{OverParticles, OverEvents} {
+		cfg := smallConfig(mesh.CSP)
+		cfg.Scheme = scheme
+		cfg.Tally = tally.ModePrivate
+		plain, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxed, err := RunCtx(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Counter.TotalEvents() != ctxed.Counter.TotalEvents() {
+			t.Errorf("%v: event counts differ: %d vs %d",
+				scheme, plain.Counter.TotalEvents(), ctxed.Counter.TotalEvents())
+		}
+		if plain.TallyTotal != ctxed.TallyTotal {
+			t.Errorf("%v: tallies differ: %v vs %v",
+				scheme, plain.TallyTotal, ctxed.TallyTotal)
+		}
+		compareBanks(t, plain.Bank, ctxed.Bank)
+	}
+}
+
+// TestRunCtxCancelBeforeStart asserts an already-canceled context aborts
+// without producing a result.
+func TestRunCtxCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, scheme := range []Scheme{OverParticles, OverEvents} {
+		cfg := smallConfig(mesh.CSP)
+		cfg.Scheme = scheme
+		res, err := RunCtx(ctx, cfg, nil)
+		if err == nil {
+			t.Fatalf("%v: canceled context accepted", scheme)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: error %v does not wrap context.Canceled", scheme, err)
+		}
+		if res != nil {
+			t.Fatalf("%v: canceled run returned a result", scheme)
+		}
+	}
+}
+
+// TestRunCtxCancelMidFlight cancels a deliberately long multi-step run and
+// checks the solver notices promptly rather than running to completion.
+func TestRunCtxCancelMidFlight(t *testing.T) {
+	for _, scheme := range []Scheme{OverParticles, OverEvents} {
+		cfg := smallConfig(mesh.CSP)
+		cfg.Scheme = scheme
+		cfg.NX, cfg.NY = 512, 512
+		cfg.Particles = 100000
+		cfg.Steps = 10 // far longer than the cancel delay allows
+		ctx, cancel := context.WithCancel(context.Background())
+		start := time.Now()
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		_, err := RunCtx(ctx, cfg, nil)
+		elapsed := time.Since(start)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: want context.Canceled, got %v", scheme, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Errorf("%v: cancellation took %v, want prompt exit", scheme, elapsed)
+		}
+		cancel()
+	}
+}
+
+// TestRunCtxProgress asserts the progress callback fires, reports sane
+// values, and ends on a complete final report.
+func TestRunCtxProgress(t *testing.T) {
+	for _, scheme := range []Scheme{OverParticles, OverEvents} {
+		cfg := smallConfig(mesh.CSP)
+		cfg.Scheme = scheme
+		cfg.Steps = 3
+		var reports []Progress
+		_, err := RunCtx(context.Background(), cfg, func(p Progress) {
+			reports = append(reports, p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) == 0 {
+			t.Fatalf("%v: no progress reports", scheme)
+		}
+		for _, p := range reports {
+			if p.Steps != cfg.Steps {
+				t.Fatalf("%v: report has Steps=%d, want %d", scheme, p.Steps, cfg.Steps)
+			}
+			if p.Done < 0 || (p.Total > 0 && p.Done > p.Total) {
+				t.Fatalf("%v: impossible report %+v", scheme, p)
+			}
+			if f := p.Fraction(); f < 0 || f > 1 {
+				t.Fatalf("%v: fraction %v out of range", scheme, f)
+			}
+		}
+		final := reports[len(reports)-1]
+		if final.Step != cfg.Steps-1 {
+			t.Errorf("%v: final report at step %d, want %d", scheme, final.Step, cfg.Steps-1)
+		}
+		if final.Done != final.Total {
+			t.Errorf("%v: final report incomplete: %d/%d", scheme, final.Done, final.Total)
+		}
+	}
+}
+
+// TestFingerprint checks the cache-key contract: equal configs agree,
+// any physics field perturbs the hash, and CustomDensity poisons
+// cacheability.
+func TestFingerprint(t *testing.T) {
+	base := smallConfig(mesh.CSP)
+	k1, ok := base.Fingerprint()
+	if !ok {
+		t.Fatal("plain config reported uncacheable")
+	}
+	k2, _ := base.Fingerprint()
+	if k1 != k2 {
+		t.Fatal("fingerprint not deterministic")
+	}
+
+	perturb := []func(*Config){
+		func(c *Config) { c.Seed++ },
+		func(c *Config) { c.Particles++ },
+		func(c *Config) { c.NX++ },
+		func(c *Config) { c.Steps++ },
+		func(c *Config) { c.Scheme = OverEvents },
+		func(c *Config) { c.Schedule.Chunk = 128 },
+		func(c *Config) { c.Timestep *= 2 },
+		func(c *Config) { c.KeepCells = !c.KeepCells },
+		func(c *Config) { c.CustomSource = &mesh.SourceBox{X0: 1, X1: 2, Y0: 1, Y1: 2} },
+	}
+	seen := map[string]bool{k1: true}
+	for i, f := range perturb {
+		c := base
+		f(&c)
+		k, ok := c.Fingerprint()
+		if !ok {
+			t.Fatalf("perturbation %d reported uncacheable", i)
+		}
+		if seen[k] {
+			t.Fatalf("perturbation %d collided with an earlier fingerprint", i)
+		}
+		seen[k] = true
+	}
+
+	c := base
+	c.CustomDensity = func(m *mesh.Mesh) {}
+	if _, ok := c.Fingerprint(); ok {
+		t.Fatal("CustomDensity config reported cacheable")
+	}
+}

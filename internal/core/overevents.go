@@ -34,6 +34,10 @@ var oeSchedule = Schedule{Kind: ScheduleStatic}
 func (r *run) stepOverEvents(res *Result) {
 	n := r.bank.Len()
 	for {
+		// Cancellation poll: bounded by one round of kernels.
+		if r.stop.Load() {
+			return
+		}
 		alive := false
 		// Kernel 1: calculate_time_to_events + determine_next_event.
 		t0 := time.Now()
@@ -70,6 +74,7 @@ func (r *run) stepOverEvents(res *Result) {
 				if ev == events.Census {
 					ws.c.CensusEvents++
 					p.Status = particle.Census
+					r.done.Add(1)
 				}
 				r.bank.Store(i, &p)
 			}
@@ -96,6 +101,7 @@ func (r *run) stepOverEvents(res *Result) {
 				if cr.Died {
 					ws.c.Deaths++
 					r.flush(ws, &p)
+					r.done.Add(1)
 				} else {
 					// Invalidate the stored cross sections;
 					// next round's event kernel re-looks

@@ -22,12 +22,18 @@ func (r *run) stepOverParticles(res *Result) {
 		start := time.Now()
 		var p particle.Particle
 		for i := lo; i < hi; i++ {
+			// Cancellation poll: bounded by one history, amortised
+			// over the hundreds of events a history contains.
+			if r.stop.Load() {
+				break
+			}
 			if r.bank.StatusOf(i) != particle.Alive {
 				continue
 			}
 			r.bank.Load(i, &p)
 			r.history(ws, &p)
 			r.bank.Store(i, &p)
+			r.done.Add(1)
 		}
 		ws.busy += time.Since(start)
 	})

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/events"
@@ -80,6 +83,29 @@ type run struct {
 	// kernels.
 	evKind []uint8
 	evGeom []uint8 // axis<<1 | (dir>0)
+
+	// Cancellation and progress plumbing (RunCtx). stop is polled from
+	// the hot loops and stays read-only until a cancel, so the padding
+	// keeps it off the cache line of the counters the workers write.
+	stop atomic.Bool
+	_    [64]byte
+	// done counts histories retired (census or death) in the current
+	// step; stepTotal is the in-flight population at the step's start;
+	// step is the current 0-based timestep. All three feed the progress
+	// monitor.
+	done      atomic.Int64
+	stepTotal atomic.Int64
+	step      atomic.Int64
+}
+
+// snapshot assembles a Progress report from the solver's live counters.
+func (r *run) snapshot() Progress {
+	return Progress{
+		Step:  int(r.step.Load()),
+		Steps: r.cfg.Steps,
+		Done:  r.done.Load(),
+		Total: r.stepTotal.Load(),
+	}
 }
 
 // Event kind codes in evKind. evNone marks slots with no event this round
@@ -139,23 +165,91 @@ func newRun(cfg Config) (*run, error) {
 
 // Run executes the configured simulation and returns its results.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg, nil)
+}
+
+// RunCtx is Run with cooperative cancellation and optional live progress.
+// When ctx is canceled the solver loops bail out at their next poll of a
+// shared stop flag — within one particle history for Over Particles, within
+// one kernel round for Over Events — and RunCtx returns the context's
+// error. progress, when non-nil, receives periodic Progress reports from a
+// dedicated monitoring goroutine plus one final report before a successful
+// return; it is never called after RunCtx returns. The cancellation
+// plumbing costs one uncontended atomic load per history (or per kernel
+// chunk), so an uncanceled RunCtx matches Run's throughput.
+func RunCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A dead context skips setup entirely: a drained backlog of canceled
+	// jobs must not pay bank and mesh construction per job.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run canceled: %w", err)
+	}
 	r, err := newRun(cfg)
 	if err != nil {
 		return nil, err
 	}
 	cfg = r.cfg // Validate fills defaults
+
+	// The watcher translates context cancellation into the stop flag the
+	// solver loops poll, keeping channel machinery off the hot path. The
+	// monitor samples the live counters so the user callback runs outside
+	// every timed region.
+	quit := make(chan struct{})
+	var aux sync.WaitGroup
+	if ctx.Done() != nil {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			select {
+			case <-ctx.Done():
+				r.stop.Store(true)
+			case <-quit:
+			}
+		}()
+	}
+	if progress != nil {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			tick := time.NewTicker(20 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					progress(r.snapshot())
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+	stopAux := func() {
+		close(quit)
+		aux.Wait()
+	}
+
 	res := &Result{Config: cfg}
 	start := time.Now()
-	for step := 0; step < cfg.Steps; step++ {
+	r.stepTotal.Store(int64(cfg.Particles))
+	for step := 0; step < cfg.Steps && !r.stop.Load(); step++ {
 		if step > 0 {
-			r.reviveCensus()
+			revived := r.reviveCensus()
+			// Reset done before publishing the new total so a
+			// concurrent monitor sample never pairs the old
+			// retired count with the (smaller) new population.
+			r.done.Store(0)
+			r.stepTotal.Store(int64(revived))
 		}
+		r.step.Store(int64(step))
 		switch cfg.Scheme {
 		case OverParticles:
 			r.stepOverParticles(res)
 		case OverEvents:
 			r.stepOverEvents(res)
 		default:
+			stopAux()
 			return nil, fmt.Errorf("core: unknown scheme %v", cfg.Scheme)
 		}
 		if cfg.Tally == tally.ModePrivate && cfg.MergePerStep {
@@ -165,6 +259,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.Wall = time.Since(start)
+	stopAux()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run canceled: %w", err)
+	}
+	if progress != nil {
+		progress(r.snapshot())
+	}
 	r.finish(res)
 	return res, nil
 }
@@ -208,8 +309,10 @@ func (r *run) finish(res *Result) {
 	}
 }
 
-// reviveCensus returns census particles to flight for the next timestep.
-func (r *run) reviveCensus() {
+// reviveCensus returns census particles to flight for the next timestep,
+// reporting how many it revived (the next step's in-flight population).
+func (r *run) reviveCensus() int {
+	revived := 0
 	var p particle.Particle
 	for i := 0; i < r.bank.Len(); i++ {
 		if r.bank.StatusOf(i) != particle.Census {
@@ -219,7 +322,9 @@ func (r *run) reviveCensus() {
 		p.Status = particle.Alive
 		p.TimeToCensus = r.cfg.Timestep
 		r.bank.Store(i, &p)
+		revived++
 	}
+	return revived
 }
 
 // flush empties the particle's energy-deposition register into the tally

@@ -1,0 +1,387 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
+)
+
+// Spec is the wire-format run request: the JSON mirror of core.Config with
+// string-named enums and problem-relative defaults. Zero-valued fields
+// inherit the problem default, so {"problem":"csp"} is a complete request.
+type Spec struct {
+	Problem      string      `json:"problem"`
+	Paper        bool        `json:"paper,omitempty"` // full paper scale baseline
+	NX           int         `json:"nx,omitempty"`
+	NY           int         `json:"ny,omitempty"`
+	Particles    int         `json:"particles,omitempty"`
+	Timestep     float64     `json:"timestep,omitempty"`
+	Steps        int         `json:"steps,omitempty"`
+	Seed         *uint64     `json:"seed,omitempty"` // pointer: 0 is a valid seed
+	Threads      int         `json:"threads,omitempty"`
+	Scheme       string      `json:"scheme,omitempty"`
+	Schedule     string      `json:"schedule,omitempty"`
+	Chunk        int         `json:"chunk,omitempty"`
+	Layout       string      `json:"layout,omitempty"`
+	Tally        string      `json:"tally,omitempty"`
+	MergePerStep bool        `json:"merge_per_step,omitempty"`
+	XSPoints     int         `json:"xs_points,omitempty"`
+	WeightCutoff float64     `json:"weight_cutoff,omitempty"`
+	EnergyCutoff float64     `json:"energy_cutoff,omitempty"`
+	KeepCells    bool        `json:"keep_cells,omitempty"`
+	Source       *SourceSpec `json:"source,omitempty"`
+}
+
+// SourceSpec overrides the problem's particle birth region.
+type SourceSpec struct {
+	X0 float64 `json:"x0"`
+	X1 float64 `json:"x1"`
+	Y0 float64 `json:"y0"`
+	Y1 float64 `json:"y1"`
+}
+
+// Config resolves the spec to a validated-shape core.Config (final
+// validation happens at Submit, which also applies the engine thread
+// budget).
+func (s Spec) Config() (core.Config, error) {
+	p, err := mesh.ParseProblem(s.Problem)
+	if err != nil {
+		return core.Config{}, err
+	}
+	// Zero means "problem default", so a negative override is always a
+	// client error rather than something to fall back from silently.
+	for name, v := range map[string]int{
+		"nx": s.NX, "ny": s.NY, "particles": s.Particles, "steps": s.Steps,
+		"threads": s.Threads, "chunk": s.Chunk, "xs_points": s.XSPoints,
+	} {
+		if v < 0 {
+			return core.Config{}, fmt.Errorf("service: negative %s %d", name, v)
+		}
+	}
+	if s.Timestep < 0 || s.WeightCutoff < 0 || s.EnergyCutoff < 0 {
+		return core.Config{}, fmt.Errorf("service: negative physics parameter")
+	}
+	cfg := core.Default(p)
+	if s.Paper {
+		cfg = core.Paper(p)
+	}
+	if s.NX > 0 {
+		cfg.NX = s.NX
+		cfg.NY = s.NX
+	}
+	if s.NY > 0 {
+		cfg.NY = s.NY
+	}
+	if s.Particles > 0 {
+		cfg.Particles = s.Particles
+	}
+	if s.Timestep > 0 {
+		cfg.Timestep = s.Timestep
+	}
+	if s.Steps > 0 {
+		cfg.Steps = s.Steps
+	}
+	if s.Seed != nil {
+		cfg.Seed = *s.Seed
+	}
+	cfg.Threads = s.Threads
+	if s.Scheme != "" {
+		if cfg.Scheme, err = core.ParseScheme(s.Scheme); err != nil {
+			return core.Config{}, err
+		}
+	}
+	if s.Schedule != "" {
+		kind, err := core.ParseSchedule(s.Schedule)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Schedule = core.Schedule{Kind: kind, Chunk: s.Chunk}
+	} else if s.Chunk > 0 {
+		cfg.Schedule.Chunk = s.Chunk
+	}
+	if s.Layout != "" {
+		if cfg.Layout, err = particle.ParseLayout(s.Layout); err != nil {
+			return core.Config{}, err
+		}
+	}
+	if s.Tally != "" {
+		if cfg.Tally, err = tally.ParseMode(s.Tally); err != nil {
+			return core.Config{}, err
+		}
+	}
+	cfg.MergePerStep = s.MergePerStep
+	if s.XSPoints > 0 {
+		cfg.XSPoints = s.XSPoints
+	}
+	if s.WeightCutoff > 0 {
+		cfg.WeightCutoff = s.WeightCutoff
+	}
+	if s.EnergyCutoff > 0 {
+		cfg.EnergyCutoff = s.EnergyCutoff
+	}
+	cfg.KeepCells = s.KeepCells
+	if s.Source != nil {
+		cfg.CustomSource = &mesh.SourceBox{
+			X0: s.Source.X0, X1: s.Source.X1,
+			Y0: s.Source.Y0, Y1: s.Source.Y1,
+		}
+	}
+	return cfg, nil
+}
+
+// JobView is the wire representation of a job snapshot.
+type JobView struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Cached    bool       `json:"cached,omitempty"`
+	Progress  float64    `json:"progress"`
+	Step      int        `json:"step"`
+	Steps     int        `json:"steps"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+func viewOf(j *Job) JobView {
+	st := j.Status()
+	v := JobView{
+		ID:        st.ID,
+		State:     st.State,
+		Cached:    st.Cached,
+		Progress:  st.Progress.Fraction(),
+		Step:      st.Progress.Step,
+		Steps:     st.Progress.Steps,
+		Submitted: st.Submitted,
+	}
+	if st.Err != nil {
+		v.Error = st.Err.Error()
+	}
+	if !st.Started.IsZero() {
+		t := st.Started
+		v.Started = &t
+	}
+	if !st.Finished.IsZero() {
+		t := st.Finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// ResultView is the wire representation of a completed run: the quantities
+// a client consumes, flattened from core.Result (whose Config carries
+// non-serialisable hooks).
+type ResultView struct {
+	TallyTotal        float64   `json:"tally_total"`
+	WallSeconds       float64   `json:"wall_seconds"`
+	Events            uint64    `json:"events"`
+	FacetEvents       uint64    `json:"facet_events"`
+	CollisionEvents   uint64    `json:"collision_events"`
+	CensusEvents      uint64    `json:"census_events"`
+	Deaths            uint64    `json:"deaths"`
+	ConservationError float64   `json:"conservation_error"`
+	LoadImbalance     float64   `json:"load_imbalance"`
+	Cells             []float64 `json:"cells,omitempty"`
+}
+
+func resultViewOf(res *core.Result) ResultView {
+	return ResultView{
+		TallyTotal:        res.TallyTotal,
+		WallSeconds:       res.Wall.Seconds(),
+		Events:            res.Counter.TotalEvents(),
+		FacetEvents:       res.Counter.FacetEvents,
+		CollisionEvents:   res.Counter.CollisionEvents,
+		CensusEvents:      res.Counter.CensusEvents,
+		Deaths:            res.Counter.Deaths,
+		ConservationError: res.Conservation.RelativeError,
+		LoadImbalance:     res.LoadImbalance(),
+		Cells:             res.Cells,
+	}
+}
+
+// Server exposes an engine over HTTP/JSON:
+//
+//	POST   /v1/jobs            submit a Spec; 202 (queued) or 200 (cache hit)
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job status
+//	GET    /v1/jobs/{id}/result  result; blocks when ?wait=true
+//	GET    /v1/jobs/{id}/stream  server-sent progress events
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/stats           engine counters
+//	GET    /healthz            liveness
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewServer wires the engine's handlers onto a fresh mux.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.engine.Submit(cfg)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if v := viewOf(j); v.State.Terminal() {
+		writeJSON(w, http.StatusOK, v) // served from cache
+	} else {
+		writeJSON(w, code, v)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.engine.Jobs()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = viewOf(j)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.engine.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, viewOf(j))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("wait") == "true" {
+		if err := j.Wait(r.Context()); err != nil {
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
+	}
+	res, err := j.Result()
+	switch {
+	case errors.Is(err, ErrNotFinished):
+		writeJSON(w, http.StatusAccepted, viewOf(j))
+	case err != nil:
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusOK, resultViewOf(res))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.engine.Cancel(j.ID()); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j))
+}
+
+// handleStream pushes progress as server-sent events every 100 ms until
+// the job is terminal or the client disconnects, then a final "done" event
+// with the closing snapshot.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusNotImplemented, errors.New("service: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string) {
+		data, _ := json.Marshal(viewOf(j))
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.Done():
+			emit("done")
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			emit("progress")
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

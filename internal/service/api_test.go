@@ -1,0 +1,316 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+)
+
+func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := New(opts)
+	ts := httptest.NewServer(NewServer(e))
+	t.Cleanup(func() {
+		ts.Close()
+		e.Close()
+	})
+	return ts, e
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec string) (JobView, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func TestAPISubmitAndResult(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Shards: 2, QueueDepth: 8})
+	spec := `{"problem":"csp","nx":64,"particles":200,"threads":2,"seed":42}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if v.ID == "" || v.State == "" {
+		t.Fatalf("bad job view %+v", v)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d", resp.StatusCode)
+	}
+	var rv ResultView
+	if err := json.NewDecoder(resp.Body).Decode(&rv); err != nil {
+		t.Fatal(err)
+	}
+	if rv.Events == 0 {
+		t.Fatal("result reports no events")
+	}
+
+	// The same spec resolves to the same config: a repeat submission is a
+	// cache hit answered 200 with a terminal view.
+	v2, code2 := postJob(t, ts, spec)
+	if code2 != http.StatusOK {
+		t.Fatalf("cached submit status %d", code2)
+	}
+	if v2.State != StateDone || !v2.Cached {
+		t.Fatalf("cached view %+v", v2)
+	}
+}
+
+// TestAPIResultMatchesDirectRun asserts the service pipeline (JSON spec →
+// engine → result view) reproduces a direct solver call exactly.
+func TestAPIResultMatchesDirectRun(t *testing.T) {
+	cfg := core.Default(mesh.Scatter)
+	cfg.NX, cfg.NY = 64, 64
+	cfg.Particles = 300
+	cfg.Threads = 1 // single worker: tally order fixed, totals bit-identical
+	cfg.Seed = 4242
+	direct, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _ := newTestServer(t, Options{Shards: 1, QueueDepth: 4})
+	spec := `{"problem":"scatter","nx":64,"particles":300,"threads":1,"seed":4242}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rv ResultView
+	if err := json.NewDecoder(resp.Body).Decode(&rv); err != nil {
+		t.Fatal(err)
+	}
+	if rv.TallyTotal != direct.TallyTotal {
+		t.Errorf("tally %v != direct %v", rv.TallyTotal, direct.TallyTotal)
+	}
+	if rv.Events != direct.Counter.TotalEvents() {
+		t.Errorf("events %d != direct %d", rv.Events, direct.Counter.TotalEvents())
+	}
+}
+
+func TestAPIValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Shards: 1, QueueDepth: 4})
+	cases := []string{
+		`{"problem":"bogus"}`,
+		`{"problem":"csp","scheme":"bogus"}`,
+		`{"problem":"csp","tally":"bogus"}`,
+		`{"problem":"csp","layout":"bogus"}`,
+		`{"problem":"csp","schedule":"bogus"}`,
+		`{"problem":"csp","particles":-4}`,
+		`{"problem":"csp","unknown_field":1}`,
+		`not json`,
+	}
+	for _, spec := range cases {
+		if _, code := postJob(t, ts, spec); code != http.StatusBadRequest {
+			t.Errorf("spec %q: status %d, want 400", spec, code)
+		}
+	}
+}
+
+func TestAPIUnknownJob(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Shards: 1, QueueDepth: 4})
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/stream"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAPICancel(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Shards: 1, QueueDepth: 4})
+	// Big enough that a single step takes ~a second: the job cannot
+	// finish before the cancel lands.
+	spec := `{"problem":"csp","nx":512,"particles":200000,"steps":10,"threads":2,"seed":1}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv JobView
+		json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if jv.State.Terminal() {
+			if jv.State != StateCanceled {
+				t.Fatalf("terminal state %s, want canceled", jv.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached a terminal state after cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The result endpoint reports the cancellation as a conflict.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("result of canceled job: status %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestAPIStream(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Shards: 1, QueueDepth: 4})
+	spec := `{"problem":"csp","nx":64,"particles":400,"steps":4,"threads":2,"seed":7}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var sawDone bool
+	var lastData string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			lastData = strings.TrimPrefix(line, "data: ")
+		}
+		if line == "event: done" {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done event")
+	}
+	var jv JobView
+	if err := json.Unmarshal([]byte(lastData), &jv); err != nil {
+		t.Fatalf("final event payload: %v", err)
+	}
+	if jv.State != StateDone || jv.Progress != 1 {
+		t.Fatalf("final event %+v", jv)
+	}
+}
+
+func TestAPIListAndStats(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Shards: 2, QueueDepth: 8})
+	for i := 0; i < 3; i++ {
+		spec := fmt.Sprintf(`{"problem":"csp","nx":64,"particles":100,"threads":1,"seed":%d}`, i)
+		if _, code := postJob(t, ts, spec); code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var views []JobView
+	json.NewDecoder(resp.Body).Decode(&views)
+	resp.Body.Close()
+	if len(views) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(views))
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Submitted != 3 || st.Shards != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body.String(), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestSpecConfigDefaults(t *testing.T) {
+	cfg, err := Spec{Problem: "csp"}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := core.Default(mesh.CSP)
+	if cfg.NX != def.NX || cfg.Particles != def.Particles || cfg.Seed != def.Seed {
+		t.Fatalf("spec defaults diverge from core defaults: %+v", cfg)
+	}
+
+	seed := uint64(0)
+	cfg, err = Spec{Problem: "csp", Seed: &seed}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 0 {
+		t.Fatal("explicit zero seed ignored")
+	}
+
+	paper, err := Spec{Problem: "scatter", Paper: true}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.NX != 4000 || paper.Particles != 10_000_000 {
+		t.Fatalf("paper spec = %+v", paper)
+	}
+
+	src, err := Spec{Problem: "stream", Source: &SourceSpec{X0: 1, X1: 2, Y0: 3, Y1: 4}}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.CustomSource == nil || src.CustomSource.X1 != 2 {
+		t.Fatal("source spec not applied")
+	}
+}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Cache is a content-addressed LRU result cache. Keys are canonical
+// fingerprints of the full run configuration (core.Config.Fingerprint), so
+// a hit is guaranteed to carry the exact Result a fresh solve would
+// reproduce: identical config and seed replay identical particle
+// histories. Configs with non-canonicalisable hooks (CustomDensity) never
+// reach the cache — Submit refuses to key them.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// NewCache returns a cache holding at most capacity results. Capacity 0
+// disables caching (every Get misses, Put discards).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for the key, marking it most recently
+// used. The caller must treat the result as immutable — it is shared by
+// every job served from the same key.
+func (c *Cache) Get(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores the result under the key, evicting the least recently used
+// entry at capacity.
+func (c *Cache) Put(key string, res *core.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len reports the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats reports hit/miss/eviction counts since creation.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.order.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,123 @@
+// Package service turns the single-shot neutral solver into a long-running
+// simulation service: a bounded job queue (this file), a sharded worker
+// pool multiplexing concurrent core.RunCtx executions (worker.go), a
+// content-addressed result cache keyed by the canonical config fingerprint
+// (cache.go), and an HTTP/JSON front end with streaming progress (api.go).
+//
+// The design follows the client/server job frameworks the transport-code
+// literature converged on (Kostin et al.; MC/DC): the solver stays a pure
+// batch kernel, and everything long-lived — admission control, scheduling,
+// caching, cancellation — lives here.
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue errors.
+var (
+	// ErrQueueFull rejects a submission when the queue is at capacity —
+	// the service's admission control under overload.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrClosed rejects operations on a closed queue or engine.
+	ErrClosed = errors.New("service: closed")
+)
+
+// Queue is a bounded FIFO of jobs. Push never blocks — a full queue
+// rejects, pushing back-pressure to the client — while Pop blocks until a
+// job arrives or the queue is closed and drained.
+type Queue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	items    []*Job
+	cap      int
+	closed   bool
+
+	pushed  uint64
+	dropped uint64
+}
+
+// NewQueue returns a queue holding at most capacity queued jobs.
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{cap: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends the job, failing with ErrQueueFull at capacity and
+// ErrClosed after Close.
+func (q *Queue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if len(q.items) >= q.cap {
+		q.dropped++
+		return ErrQueueFull
+	}
+	q.items = append(q.items, j)
+	q.pushed++
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// Pop removes and returns the oldest job, blocking while the queue is
+// empty. After Close it drains the remaining jobs, then reports false.
+func (q *Queue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.nonEmpty.Wait()
+	}
+	j := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j, true
+}
+
+// Remove deletes a queued job by ID, reporting whether it was found. A
+// canceled job that is still queued is removed here so it never occupies a
+// worker.
+func (q *Queue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.id == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the current depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close stops admissions and wakes all blocked Pops once the backlog
+// drains.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmpty.Broadcast()
+}
+
+// Stats reports lifetime admission counts: jobs accepted and jobs rejected
+// at capacity.
+func (q *Queue) Stats() (pushed, dropped uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushed, q.dropped
+}

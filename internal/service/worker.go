@@ -1,0 +1,512 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle states. Queued and Running are transient; Done, Failed and
+// Canceled are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ErrUnknownJob reports a lookup of an ID the engine never issued.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// ErrNotFinished reports a result request for a job that has not reached a
+// terminal state.
+var ErrNotFinished = errors.New("service: job not finished")
+
+// Job is one simulation managed by the engine: a validated config, its
+// cache key, and the lifecycle state machine. All mutable state is behind
+// the mutex; the done channel closes exactly once when the job reaches a
+// terminal state.
+type Job struct {
+	id  string
+	key string // config fingerprint; empty for uncacheable configs
+	cfg core.Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	progress  core.Progress
+	result    *core.Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Status is an immutable snapshot of a job.
+type Status struct {
+	ID        string
+	State     State
+	Cached    bool
+	Progress  core.Progress
+	Err       error
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// ID returns the engine-issued job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Config returns the validated configuration the job runs.
+func (j *Job) Config() core.Config { return j.cfg }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:        j.id,
+		State:     j.state,
+		Cached:    j.cached,
+		Progress:  j.progress,
+		Err:       j.err,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+}
+
+// Wait blocks until the job is terminal or ctx expires.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result returns the completed result. It fails with ErrNotFinished while
+// the job is in flight, the run's own error for a failed job, and a
+// cancellation error for a canceled one.
+func (j *Job) Result() (*core.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed, StateCanceled:
+		return nil, j.err
+	default:
+		return nil, ErrNotFinished
+	}
+}
+
+// setProgress is the core.ProgressFunc the worker threads into RunCtx.
+func (j *Job) setProgress(p core.Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once, reporting whether
+// this call won the transition.
+func (j *Job) finish(state State, res *core.Result, err error, cached bool) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finishLocked(state, res, err, cached)
+}
+
+// finishLocked is finish with j.mu already held.
+func (j *Job) finishLocked(state State, res *core.Result, err error, cached bool) bool {
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.err = err
+	j.cached = cached
+	j.finished = time.Now()
+	if res != nil {
+		// A finished job reads 100% regardless of sampling jitter.
+		j.progress = core.Progress{
+			Step:  res.Config.Steps - 1,
+			Steps: res.Config.Steps,
+			Done:  1,
+			Total: 1,
+		}
+	}
+	close(j.done)
+	// Release the job's context registration on the engine context; a
+	// long-lived engine must not accumulate one child per finished job.
+	j.cancel()
+	return true
+}
+
+// Options configures an engine.
+type Options struct {
+	// Shards is the worker-pool width: each shard owns one queue and one
+	// worker goroutine, and cacheable jobs are routed to a shard by
+	// fingerprint so identical submissions serialise behind each other
+	// (maximising cache reuse instead of racing duplicate solves).
+	// 0 means min(4, GOMAXPROCS).
+	Shards int
+	// QueueDepth bounds each shard's backlog. 0 means 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache. 0 means 128; negative
+	// disables caching.
+	CacheEntries int
+	// ThreadsPerJob is the solver thread count given to jobs that leave
+	// Config.Threads at 0, so concurrent simulations share the machine
+	// instead of each claiming every core. 0 means GOMAXPROCS/Shards,
+	// floored at 1.
+	ThreadsPerJob int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = min(4, runtime.GOMAXPROCS(0))
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	switch {
+	case o.CacheEntries == 0:
+		o.CacheEntries = 128
+	case o.CacheEntries < 0:
+		o.CacheEntries = 0
+	}
+	if o.ThreadsPerJob <= 0 {
+		o.ThreadsPerJob = max(1, runtime.GOMAXPROCS(0)/o.Shards)
+	}
+	return o
+}
+
+// Engine is the simulation service: admission, scheduling, execution and
+// caching of neutral runs. Create one with New, submit validated configs
+// with Submit, and stop it with Close.
+type Engine struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	cache  *Cache
+	shards []*Queue
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []*Job // submission order, for listing
+	seq    uint64
+
+	rr atomic.Uint64 // round-robin cursor for uncacheable jobs
+
+	// Lifetime counters.
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	runs      atomic.Uint64 // actual solver executions (cache misses)
+	running   atomic.Int64  // jobs currently on a worker
+
+	// runFn is the solver entry point; tests substitute stubs.
+	runFn func(context.Context, core.Config, core.ProgressFunc) (*core.Result, error)
+}
+
+// New builds an engine and starts its worker pool.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		cache:  NewCache(opts.CacheEntries),
+		jobs:   make(map[string]*Job),
+		runFn:  core.RunCtx,
+	}
+	e.shards = make([]*Queue, opts.Shards)
+	for i := range e.shards {
+		e.shards[i] = NewQueue(opts.QueueDepth)
+	}
+	e.wg.Add(opts.Shards)
+	for i := range e.shards {
+		go e.worker(e.shards[i])
+	}
+	return e
+}
+
+// Submit validates the config, applies the engine thread budget, and
+// either serves it from the cache (returning an already-Done job without
+// touching a worker) or enqueues it. A full shard queue fails with
+// ErrQueueFull; a closed engine with ErrClosed.
+func (e *Engine) Submit(cfg core.Config) (*Job, error) {
+	if cfg.Threads == 0 {
+		cfg.Threads = e.opts.ThreadsPerJob
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	key, cacheable := cfg.Fingerprint()
+	if !cacheable {
+		key = ""
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.seq++
+	id := fmt.Sprintf("job-%06d", e.seq)
+	e.mu.Unlock()
+
+	jctx, jcancel := context.WithCancel(e.ctx)
+	j := &Job{
+		id:        id,
+		key:       key,
+		cfg:       cfg,
+		ctx:       jctx,
+		cancel:    jcancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	e.submitted.Add(1)
+
+	// Cache hit: the job is born terminal, no worker involved.
+	if key != "" {
+		if res, ok := e.cache.Get(key); ok {
+			j.finish(StateDone, res, nil, true)
+			e.completed.Add(1)
+			e.record(j)
+			return j, nil
+		}
+	}
+
+	if err := e.shardFor(key).Push(j); err != nil {
+		jcancel()
+		return nil, err
+	}
+	e.record(j)
+	return j, nil
+}
+
+// record indexes the job for lookup and listing.
+func (e *Engine) record(j *Job) {
+	e.mu.Lock()
+	e.jobs[j.id] = j
+	e.order = append(e.order, j)
+	e.mu.Unlock()
+}
+
+// shardFor routes a cacheable fingerprint to its home shard — identical
+// configs always land together — and spreads uncacheable jobs round-robin.
+func (e *Engine) shardFor(key string) *Queue {
+	if key == "" {
+		return e.shards[e.rr.Add(1)%uint64(len(e.shards))]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// worker drains one shard queue until the engine closes.
+func (e *Engine) worker(q *Queue) {
+	defer e.wg.Done()
+	for {
+		j, ok := q.Pop()
+		if !ok {
+			return
+		}
+		e.execute(j)
+	}
+}
+
+// execute runs one job to a terminal state.
+func (e *Engine) execute(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	e.running.Add(1)
+	defer e.running.Add(-1)
+
+	// An identical job may have completed while this one queued; shard
+	// affinity makes this re-check catch every same-key dupe.
+	if j.key != "" {
+		if res, ok := e.cache.Get(j.key); ok {
+			if j.finish(StateDone, res, nil, true) {
+				e.completed.Add(1)
+			}
+			return
+		}
+	}
+
+	e.runs.Add(1)
+	res, err := e.runFn(j.ctx, j.cfg, j.setProgress)
+	switch {
+	case err == nil:
+		if j.key != "" {
+			e.cache.Put(j.key, res)
+		}
+		if j.finish(StateDone, res, nil, false) {
+			e.completed.Add(1)
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if j.finish(StateCanceled, nil, err, false) {
+			e.canceled.Add(1)
+		}
+	default:
+		if j.finish(StateFailed, nil, err, false) {
+			e.failed.Add(1)
+		}
+	}
+}
+
+// Job looks up a job by ID.
+func (e *Engine) Job(id string) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs lists every job in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Job(nil), e.order...)
+}
+
+// Cancel stops a job: a queued job is marked canceled and removed without
+// ever occupying a worker; a running job has its context canceled and the
+// solver bails at its next poll. Canceling a terminal job is a no-op.
+func (e *Engine) Cancel(id string) error {
+	j, err := e.Job(id)
+	if err != nil {
+		return err
+	}
+	// Decide the queued case atomically with the state transition: if a
+	// worker wins the race and sets Running first, this only cancels the
+	// context and the worker records the cancellation when the solver
+	// returns — never both.
+	j.mu.Lock()
+	wonQueued := j.state == StateQueued &&
+		j.finishLocked(StateCanceled, nil, context.Canceled, false)
+	j.mu.Unlock()
+	if wonQueued {
+		e.canceled.Add(1)
+		for _, q := range e.shards {
+			if q.Remove(id) {
+				break
+			}
+		}
+		return nil
+	}
+	j.cancel()
+	return nil
+}
+
+// Stats is a point-in-time view of the engine.
+type Stats struct {
+	Shards        int        `json:"shards"`
+	QueueDepth    int        `json:"queue_depth"`
+	ThreadsPerJob int        `json:"threads_per_job"`
+	Queued        int        `json:"queued"`
+	Running       int64      `json:"running"`
+	Submitted     uint64     `json:"submitted"`
+	Completed     uint64     `json:"completed"`
+	Failed        uint64     `json:"failed"`
+	Canceled      uint64     `json:"canceled"`
+	Runs          uint64     `json:"runs"`
+	Rejected      uint64     `json:"rejected"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// Stats reports queue, execution and cache counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Shards:        e.opts.Shards,
+		QueueDepth:    e.opts.QueueDepth,
+		ThreadsPerJob: e.opts.ThreadsPerJob,
+		Running:       e.running.Load(),
+		Submitted:     e.submitted.Load(),
+		Completed:     e.completed.Load(),
+		Failed:        e.failed.Load(),
+		Canceled:      e.canceled.Load(),
+		Runs:          e.runs.Load(),
+		Cache:         e.cache.Stats(),
+	}
+	for _, q := range e.shards {
+		s.Queued += q.Len()
+		_, dropped := q.Stats()
+		s.Rejected += dropped
+	}
+	return s
+}
+
+// Cache exposes the result cache (read-mostly; shared with the API layer).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Close stops the engine: admissions end, the backlog and in-flight runs
+// are canceled, and Close returns once every worker has exited. All
+// non-terminal jobs end StateCanceled.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	e.cancel() // aborts running solvers and queued-job contexts
+	for _, q := range e.shards {
+		q.Close()
+	}
+	e.wg.Wait()
+
+	// Workers drained the queues; anything popped after the cancel came
+	// back canceled. Sweep stragglers that were queued but skipped.
+	for _, j := range e.Jobs() {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if !terminal && j.finish(StateCanceled, nil, ErrClosed, false) {
+			e.canceled.Add(1)
+		}
+	}
+}

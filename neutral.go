@@ -10,19 +10,25 @@
 //   - PredictDevices prices a problem on the analytic models of the
 //     paper's five evaluation devices (Broadwell, KNL, POWER8, K20X, P100);
 //   - Experiments regenerates every table and figure in the paper's
-//     evaluation section.
+//     evaluation section;
+//   - RunCtx / NewService expose the serving layer: cancelable runs with
+//     live progress, and the job-queue/worker-pool/result-cache engine
+//     behind the neutral-serve HTTP API (cmd/neutral-serve).
 //
 // See README.md for a tour and DESIGN.md for the system inventory.
 package neutral
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 
 	"repro/internal/archmodel"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mesh"
 	"repro/internal/particle"
+	"repro/internal/service"
 	"repro/internal/tally"
 )
 
@@ -50,6 +56,36 @@ type (
 	Particle = particle.Particle
 	// Bank is the particle store in either layout.
 	Bank = particle.Bank
+
+	// Progress is a point-in-time completion report delivered to the
+	// ProgressFunc passed to RunCtx.
+	Progress = core.Progress
+	// ProgressFunc observes a run's progress from a dedicated monitor
+	// goroutine.
+	ProgressFunc = core.ProgressFunc
+
+	// Service is the simulation service engine: bounded job queue,
+	// sharded worker pool, and content-addressed result cache.
+	Service = service.Engine
+	// ServiceOptions sizes a Service (shards, queue depth, cache).
+	ServiceOptions = service.Options
+	// Job is one simulation managed by a Service.
+	Job = service.Job
+	// JobStatus is an immutable job snapshot.
+	JobStatus = service.Status
+	// JobState is a job's lifecycle position.
+	JobState = service.State
+	// JobSpec is the wire-format run request accepted by the HTTP API.
+	JobSpec = service.Spec
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = service.StateQueued
+	JobRunning  = service.StateRunning
+	JobDone     = service.StateDone
+	JobFailed   = service.StateFailed
+	JobCanceled = service.StateCanceled
 )
 
 // Scheme constants.
@@ -104,6 +140,21 @@ func PaperConfig(problem string) (Config, error) {
 
 // Run executes the configured simulation.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunCtx executes the configured simulation with cooperative cancellation
+// and optional live progress reporting.
+func RunCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*Result, error) {
+	return core.RunCtx(ctx, cfg, progress)
+}
+
+// NewService starts a simulation service engine: jobs submitted to it are
+// queued, scheduled onto a sharded worker pool, cached by config content,
+// and cancelable mid-flight. Stop it with Close.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// ServiceHandler wraps a Service in the neutral-serve HTTP/JSON API
+// (submit, status, result, cancel, streaming progress, stats).
+func ServiceHandler(s *Service) http.Handler { return service.NewServer(s) }
 
 // DevicePrediction is one device's modelled runtime for a problem at paper
 // scale.
