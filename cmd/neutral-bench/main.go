@@ -6,9 +6,11 @@
 //	neutral-bench -experiment fig09     # a single figure
 //	neutral-bench -scale full           # paper-scale native runs (slow)
 //	neutral-bench -markdown -o EXPERIMENTS.md
+//	neutral-bench -json -o BENCH_ci.json  # machine-readable, for CI trending
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +32,7 @@ func run() error {
 		experiment = flag.String("experiment", "", "run a single experiment (e.g. fig09); empty runs all")
 		scale      = flag.String("scale", "standard", "native run scale: quick, standard or full")
 		markdown   = flag.Bool("markdown", false, "render Markdown instead of text tables")
+		jsonOut    = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
 		outPath    = flag.String("o", "", "write output to a file instead of stdout")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -67,9 +70,13 @@ func run() error {
 		exps = []harness.Experiment{e}
 	}
 
-	if *markdown {
+	if *markdown && !*jsonOut {
 		fmt.Fprintf(out, "# Reproduced evaluation (%s scale, generated %s)\n\n",
 			*scale, time.Now().UTC().Format("2006-01-02"))
+	}
+	report := jsonReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Scale:     *scale,
 	}
 	for _, e := range exps {
 		start := time.Now()
@@ -77,12 +84,39 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if *markdown {
+		elapsed := time.Since(start)
+		switch {
+		case *jsonOut:
+			report.Figures = append(report.Figures, jsonFigure{
+				Figure:  fig,
+				Seconds: elapsed.Seconds(),
+			})
+		case *markdown:
 			fig.RenderMarkdown(out)
-		} else {
+		default:
 			fig.Render(out)
 		}
-		fmt.Fprintf(os.Stderr, "%-12s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%-12s done in %v\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
 	}
 	return nil
+}
+
+// jsonReport is the -json document: every figure's rows and findings plus
+// per-experiment wallclock, one self-describing artifact a CI run can
+// archive and a trend dashboard can diff across commits.
+type jsonReport struct {
+	Generated string       `json:"generated"`
+	Scale     string       `json:"scale"`
+	Figures   []jsonFigure `json:"figures"`
+}
+
+type jsonFigure struct {
+	*harness.Figure
+	// Seconds is the wallclock this experiment took to regenerate.
+	Seconds float64 `json:"seconds"`
 }

@@ -46,15 +46,33 @@ func run() error {
 		queueDepth = flag.Int("queue-depth", 0, "queued jobs per shard (0 = 64)")
 		cacheSize  = flag.Int("cache", 0, "result cache entries (0 = 128, negative disables)")
 		threads    = flag.Int("threads-per-job", 0, "solver threads per job (0 = GOMAXPROCS/shards)")
+		ckptDir    = flag.String("checkpoint-dir", "", "job checkpoint directory (empty disables); resubmitting a config found here resumes it")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint every n completed steps (0 = 1)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown window")
 	)
 	flag.Parse()
 
+	// Fail fast on an unusable checkpoint directory: the engine would
+	// silently run without durability, which is worse than not starting.
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+		probe, err := os.CreateTemp(*ckptDir, ".probe-*")
+		if err != nil {
+			return fmt.Errorf("checkpoint dir not writable: %w", err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+
 	engine := service.New(service.Options{
-		Shards:        *shards,
-		QueueDepth:    *queueDepth,
-		CacheEntries:  *cacheSize,
-		ThreadsPerJob: *threads,
+		Shards:          *shards,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheSize,
+		ThreadsPerJob:   *threads,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	})
 	srv := &http.Server{
 		Addr:    *addr,

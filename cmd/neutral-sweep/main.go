@@ -1,6 +1,11 @@
 // Command neutral-sweep runs native parameter sweeps of the mini-app on
 // the host and emits CSV, for plotting scaling and configuration studies.
 //
+// All sweep points run through one core.Simulation, Reset between points:
+// allocations the next point can legally reuse (mesh, cross-section
+// tables, particle bank) survive, so setup is amortised across the sweep
+// instead of being rebuilt per run.
+//
 // Usage:
 //
 //	neutral-sweep -sweep threads -problem csp -max 16
@@ -55,6 +60,9 @@ func run() error {
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 
+	// One engine for the whole sweep; each point Resets it in place.
+	var sweeper runner
+
 	switch *sweep {
 	case "threads":
 		max := *maxT
@@ -68,7 +76,7 @@ func run() error {
 		for t := 1; t <= max; t++ {
 			cfg := base
 			cfg.Threads = t
-			res, err := core.Run(cfg)
+			res, err := sweeper.run(cfg)
 			if err != nil {
 				return err
 			}
@@ -103,7 +111,7 @@ func run() error {
 		} {
 			cfg := base
 			cfg.Schedule = s
-			res, err := core.Run(cfg)
+			res, err := sweeper.run(cfg)
 			if err != nil {
 				return err
 			}
@@ -123,7 +131,7 @@ func run() error {
 				cfg := base
 				cfg.Problem = prob
 				cfg.Layout = l
-				res, err := core.Run(cfg)
+				res, err := sweeper.run(cfg)
 				if err != nil {
 					return err
 				}
@@ -141,7 +149,7 @@ func run() error {
 		for _, m := range []tally.Mode{tally.ModeAtomic, tally.ModePrivate, tally.ModeNull} {
 			cfg := base
 			cfg.Tally = m
-			res, err := core.Run(cfg)
+			res, err := sweeper.run(cfg)
 			if err != nil {
 				return err
 			}
@@ -156,4 +164,24 @@ func run() error {
 		return fmt.Errorf("unknown sweep %q", *sweep)
 	}
 	return nil
+}
+
+// runner owns the sweep's single Simulation: the first point builds it,
+// every later point Resets it to the new configuration, reusing whatever
+// allocations the change permits.
+type runner struct {
+	sim *core.Simulation
+}
+
+func (r *runner) run(cfg core.Config) (*core.Result, error) {
+	if r.sim == nil {
+		sim, err := core.NewSimulation(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.sim = sim
+	} else if err := r.sim.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return r.sim.Run()
 }

@@ -6,13 +6,26 @@
 //	neutral -problem csp -scheme over-particles -threads 8
 //	neutral -problem scatter -particles 100000 -nx 1024 -tally private
 //	neutral -problem stream -paper        # full paper-scale run
+//
+// Long runs can checkpoint at every timestep boundary and survive a kill:
+//
+//	neutral -problem csp -paper -steps 20 -checkpoint run.ckpt
+//	^C                                    # or a crash
+//	neutral -problem csp -paper -steps 20 -checkpoint run.ckpt -resume
+//
+// The resumed run produces the same particle bank and event counters an
+// uninterrupted run would have — the solver's RNG is counter-based, so
+// histories replay exactly from the snapshot.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/mesh"
@@ -43,6 +56,8 @@ func run() error {
 		merge    = flag.Bool("merge-per-step", false, "merge privatised tally every timestep")
 		paper    = flag.Bool("paper", false, "use full paper scale (4000^2 mesh, 1e6/1e7 particles)")
 		cells    = flag.Bool("print-tally", false, "print a coarse view of the energy deposition")
+		ckpt     = flag.String("checkpoint", "", "snapshot the run into this file at every timestep boundary")
+		resume   = flag.Bool("resume", false, "resume from the -checkpoint file when it exists")
 	)
 	flag.Parse()
 
@@ -79,10 +94,60 @@ func run() error {
 		cfg.Particles = *parts
 	}
 	cfg.KeepCells = *cells
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("-resume needs -checkpoint to name the snapshot file")
+	}
 
-	res, err := core.Run(cfg)
+	// Build the engine: restored from the checkpoint when resuming, fresh
+	// otherwise. A missing checkpoint file is a fresh start, not an error,
+	// so restart scripts can pass -resume unconditionally.
+	var sim *core.Simulation
+	if *resume {
+		data, err := os.ReadFile(*ckpt)
+		switch {
+		case err == nil:
+			if sim, err = core.RestoreSimulation(cfg, data); err != nil {
+				return fmt.Errorf("resume from %s: %w", *ckpt, err)
+			}
+			fmt.Fprintf(os.Stderr, "neutral: resumed from %s at step %d/%d\n",
+				*ckpt, sim.StepIndex(), sim.Steps())
+		case os.IsNotExist(err):
+			// fall through to a fresh simulation
+		default:
+			return err
+		}
+	}
+	if sim == nil {
+		var err error
+		if sim, err = core.NewSimulation(cfg); err != nil {
+			return err
+		}
+	}
+
+	var onStep core.StepFunc
+	if *ckpt != "" {
+		onStep = func(s *core.Simulation) {
+			if err := core.WriteSnapshotFile(*ckpt, s.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "neutral: checkpoint: %v\n", err)
+			}
+		}
+	}
+
+	// SIGINT interrupts the solver at its next poll; the last completed
+	// boundary's checkpoint survives for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := sim.Drive(ctx, nil, onStep)
 	if err != nil {
+		if *ckpt != "" && (errors.Is(err, context.Canceled) || errors.Is(err, core.ErrInterrupted)) {
+			fmt.Fprintf(os.Stderr, "neutral: interrupted at step %d/%d; rerun with -resume to continue from %s\n",
+				sim.StepIndex(), sim.Steps(), *ckpt)
+		}
 		return err
+	}
+	if *ckpt != "" {
+		os.Remove(*ckpt) // completed: the checkpoint has served its purpose
 	}
 	printResult(res)
 	if *cells {

@@ -72,7 +72,7 @@ func RunDomains(cfg Config, domains int) (*Result, *DomainStats, error) {
 	}
 	cfg.Scheme = OverParticles
 	cfg.Threads = domains // one worker per domain
-	r, err := newRun(cfg)
+	r, err := newRun(cfg, true)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,373 @@
+// Snapshot serialisation: a versioned binary checkpoint of everything a
+// simulation needs to resume at a step boundary — the particle bank (both
+// layouts serialise through the same per-record form), the tally mesh, the
+// aggregated instrumentation counters, and the step index. The RNG needs no
+// stream objects saved: it is counter-based, and each particle's counter
+// rides in its record, so RestoreSimulation replays the exact variate
+// sequence an uninterrupted run would have consumed.
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/particle"
+)
+
+// Snapshot format constants. The magic and version head every checkpoint;
+// a CRC-32 of everything before it ends it.
+const (
+	snapshotMagic   = "NEUTSNAP"
+	snapshotVersion = uint32(1)
+)
+
+// ErrSnapshotCorrupt reports a snapshot that failed structural validation:
+// wrong magic, unknown version, truncation, or checksum mismatch.
+var ErrSnapshotCorrupt = fmt.Errorf("core: snapshot corrupt")
+
+// ErrSnapshotMismatch reports a snapshot whose physics identity (problem,
+// mesh, population, timestep, steps, seed, cutoffs, source, tables) does
+// not match the configuration offered to RestoreSimulation.
+var ErrSnapshotMismatch = fmt.Errorf("core: snapshot does not match config")
+
+// physicsHash digests the configuration fields that determine particle
+// histories — the identity a snapshot must share with the config it resumes
+// under. Execution-strategy fields (scheme, threads, schedule, layout,
+// tally mode) are deliberately excluded: the schemes are bit-equivalent and
+// the counter-based RNG makes histories ownership-independent, so a
+// checkpoint taken under one strategy may legally resume under another.
+// A CustomDensity hook has no canonical form, so only its presence is
+// hashed: restoring a hooked snapshot under a hookless config (or vice
+// versa) is refused, while the caller remains responsible for re-supplying
+// the same hook — as RestoreSimulation documents.
+func physicsHash(cfg Config) [sha256.Size]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "problem=%d nx=%d ny=%d particles=%d dt=%x steps=%d seed=%d ",
+		int(cfg.Problem), cfg.NX, cfg.NY, cfg.Particles,
+		math.Float64bits(cfg.Timestep), cfg.Steps, cfg.Seed)
+	fmt.Fprintf(h, "xs=%d wcut=%x ecut=%x density-hook=%t ",
+		cfg.XSPoints, math.Float64bits(cfg.WeightCutoff),
+		math.Float64bits(cfg.EnergyCutoff), cfg.CustomDensity != nil)
+	if cfg.CustomSource != nil {
+		s := *cfg.CustomSource
+		fmt.Fprintf(h, "src=%x,%x,%x,%x ",
+			math.Float64bits(s.X0), math.Float64bits(s.X1),
+			math.Float64bits(s.Y0), math.Float64bits(s.Y1))
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// counterVector flattens Counters into the fixed field order the snapshot
+// stores; counterScatter is its inverse. Keeping both next to each other is
+// the drift guard: a new counter field must be added to each.
+func counterVector(c *Counters) []uint64 {
+	return []uint64{
+		c.FacetEvents, c.CollisionEvents, c.CensusEvents, c.Reflections,
+		c.Deaths, c.Segments, c.XSLookups, c.XSSearchSteps,
+		c.DensityReads, c.TallyFlushes, c.RNGDraws,
+		c.OERounds, c.OESlotSweeps,
+	}
+}
+
+func counterScatter(v []uint64) Counters {
+	return Counters{
+		FacetEvents: v[0], CollisionEvents: v[1], CensusEvents: v[2],
+		Reflections: v[3], Deaths: v[4], Segments: v[5],
+		XSLookups: v[6], XSSearchSteps: v[7], DensityReads: v[8],
+		TallyFlushes: v[9], RNGDraws: v[10], OERounds: v[11],
+		OESlotSweeps: v[12],
+	}
+}
+
+// snapshotWriter accumulates the little-endian payload.
+type snapshotWriter struct{ buf []byte }
+
+func (w *snapshotWriter) u8(v uint8)    { w.buf = append(w.buf, v) }
+func (w *snapshotWriter) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *snapshotWriter) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *snapshotWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *snapshotWriter) i32(v int32)   { w.u32(uint32(v)) }
+
+// snapshotReader consumes the payload with bounds checking; the first
+// overrun poisons the reader and every later read reports failure.
+type snapshotReader struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+func (r *snapshotReader) take(n int) []byte {
+	if r.bad || r.off+n > len(r.buf) {
+		r.bad = true
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *snapshotReader) u8() uint8 {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *snapshotReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *snapshotReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *snapshotReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *snapshotReader) i32() int32   { return int32(r.u32()) }
+
+// writeParticle appends one particle record in the canonical field order.
+// The order is shared with readParticle and is layout-independent: an AoS
+// snapshot restores into an SoA bank and vice versa.
+func (w *snapshotWriter) writeParticle(p *particle.Particle) {
+	w.f64(p.X)
+	w.f64(p.Y)
+	w.f64(p.UX)
+	w.f64(p.UY)
+	w.f64(p.Energy)
+	w.f64(p.Weight)
+	w.f64(p.MFPToCollision)
+	w.f64(p.TimeToCensus)
+	w.f64(p.Deposit)
+	w.f64(p.CachedSigmaA)
+	w.f64(p.CachedSigmaS)
+	w.i32(p.CellX)
+	w.i32(p.CellY)
+	w.i32(p.XSIndex)
+	w.u64(p.RNGCounter)
+	w.u64(p.ID)
+	w.u8(uint8(p.Status))
+}
+
+func (r *snapshotReader) readParticle(p *particle.Particle) {
+	p.X = r.f64()
+	p.Y = r.f64()
+	p.UX = r.f64()
+	p.UY = r.f64()
+	p.Energy = r.f64()
+	p.Weight = r.f64()
+	p.MFPToCollision = r.f64()
+	p.TimeToCensus = r.f64()
+	p.Deposit = r.f64()
+	p.CachedSigmaA = r.f64()
+	p.CachedSigmaS = r.f64()
+	p.CellX = r.i32()
+	p.CellY = r.i32()
+	p.XSIndex = r.i32()
+	p.RNGCounter = r.u64()
+	p.ID = r.u64()
+	p.Status = particle.Status(r.u8())
+}
+
+// Snapshot serialises the simulation's resumable state. It is only valid at
+// a step boundary: after NewSimulation, between successful Steps, or inside
+// a Drive onStep callback — never after ErrInterrupted, when workers may
+// have advanced an unknown subset of histories past the boundary.
+//
+// Layout (all integers little-endian):
+//
+//	magic[8] version:u32 physicsHash[32] nextStep:u64
+//	counters: count:u32 then count u64 fields
+//	bank: layout:u8 n:u64 then n canonical particle records
+//	tally: nonzero:u64 then (cell:u64 value:f64) pairs
+//	crc32(payload):u32
+func (s *Simulation) Snapshot() []byte {
+	r := s.r
+	w := &snapshotWriter{buf: make([]byte, 0, 64+particle.BytesPerParticle*r.bank.Len())}
+	w.buf = append(w.buf, snapshotMagic...)
+	w.u32(snapshotVersion)
+	hash := physicsHash(r.cfg)
+	w.buf = append(w.buf, hash[:]...)
+	w.u64(uint64(s.next))
+
+	// Counters aggregated exactly as finish would: any prior snapshot
+	// base, the live per-worker counters, and the cursor walk steps.
+	agg := r.base
+	for _, ws := range r.workers {
+		agg.Add(&ws.c)
+		agg.XSSearchSteps += ws.capCur.Steps + ws.scatCur.Steps
+	}
+	vec := counterVector(&agg)
+	w.u32(uint32(len(vec)))
+	for _, v := range vec {
+		w.u64(v)
+	}
+
+	w.u8(uint8(r.bank.Layout()))
+	w.u64(uint64(r.bank.Len()))
+	var p particle.Particle
+	for i := 0; i < r.bank.Len(); i++ {
+		r.bank.Load(i, &p)
+		w.writeParticle(&p)
+	}
+
+	// Sparse tally: deposition concentrates around the source, so most
+	// cells of a large mesh are zero and storing (cell, value) pairs
+	// beats a dense dump. Null tallies serialise as empty.
+	cells := r.tly.Cells()
+	nonzero := uint64(0)
+	for _, v := range cells {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	w.u64(nonzero)
+	for i, v := range cells {
+		if v != 0 {
+			w.u64(uint64(i))
+			w.f64(v)
+		}
+	}
+
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf
+}
+
+// WriteSnapshotFile persists a snapshot atomically: the bytes go to a
+// uniquely named temporary file in the destination directory, then rename
+// into place. A crash mid-write, or a concurrent writer checkpointing the
+// same path, never leaves a partial or interleaved file at path — the last
+// complete snapshot wins.
+func WriteSnapshotFile(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return nil
+}
+
+// RestoreSimulation rebuilds a simulation from a Snapshot taken under an
+// equivalent configuration: same physics identity (see below), any
+// execution strategy. The config must be supplied by the caller because it
+// can carry function hooks (CustomDensity) that no serialisation can
+// round-trip; the snapshot's embedded physics hash guards against resuming
+// under the wrong one, including under a config whose density-hook presence
+// differs. A hook's *body* cannot be checked — callers restoring a hooked
+// config must pass the same hook the snapshot ran under, or histories
+// diverge silently. The restored simulation continues from the recorded
+// step boundary and, run to completion, produces the same bank and counters
+// an uninterrupted run of cfg would have — bit for bit.
+func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
+	// Structural validation up front, before paying for mesh and table
+	// construction.
+	headLen := len(snapshotMagic) + 4
+	if len(data) < headLen+sha256.Size+8+4 {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrSnapshotCorrupt, len(data))
+	}
+	if !bytes.Equal(data[:len(snapshotMagic)], []byte(snapshotMagic)) {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(snapshotMagic):]); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshotCorrupt, v)
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc := binary.LittleEndian.Uint32(tail); crc != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+
+	rd := &snapshotReader{buf: payload, off: headLen}
+	var storedHash [sha256.Size]byte
+	copy(storedHash[:], rd.take(sha256.Size))
+	next := rd.u64()
+	nCounters := int(rd.u32())
+	want := len(counterVector(&Counters{}))
+	if rd.bad || nCounters != want {
+		return nil, fmt.Errorf("%w: counter vector length %d, want %d", ErrSnapshotCorrupt, nCounters, want)
+	}
+	vec := make([]uint64, nCounters)
+	for i := range vec {
+		vec[i] = rd.u64()
+	}
+	_ = rd.u8() // layout the snapshot was taken under; informational
+	n := rd.u64()
+	if rd.bad {
+		return nil, fmt.Errorf("%w: truncated bank header", ErrSnapshotCorrupt)
+	}
+
+	// The run is built unpopulated: every record is about to be
+	// overwritten from the snapshot.
+	r, err := newRun(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	if hash := physicsHash(r.cfg); hash != storedHash {
+		return nil, ErrSnapshotMismatch
+	}
+	if int(n) != r.cfg.Particles {
+		return nil, fmt.Errorf("%w: bank holds %d particles, config wants %d",
+			ErrSnapshotMismatch, n, r.cfg.Particles)
+	}
+	if next > uint64(r.cfg.Steps) {
+		return nil, fmt.Errorf("%w: step %d beyond configured %d steps",
+			ErrSnapshotCorrupt, next, r.cfg.Steps)
+	}
+
+	var p particle.Particle
+	for i := 0; i < int(n); i++ {
+		rd.readParticle(&p)
+		if rd.bad {
+			return nil, fmt.Errorf("%w: truncated bank", ErrSnapshotCorrupt)
+		}
+		r.bank.Store(i, &p)
+	}
+
+	cells := uint64(r.mesh.NumCells())
+	nonzero := rd.u64()
+	for i := uint64(0); i < nonzero; i++ {
+		cell := rd.u64()
+		v := rd.f64()
+		if rd.bad {
+			return nil, fmt.Errorf("%w: truncated tally", ErrSnapshotCorrupt)
+		}
+		if cell >= cells {
+			return nil, fmt.Errorf("%w: tally cell %d outside %d-cell mesh", ErrSnapshotCorrupt, cell, cells)
+		}
+		// Depositing into a zeroed tally reproduces the stored value
+		// exactly (0 + v = v), for every tally implementation.
+		r.tly.Add(0, int(cell), v)
+	}
+	if rd.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(payload)-rd.off)
+	}
+
+	r.base = counterScatter(vec)
+	r.step.Store(int64(next))
+	alive, census, _ := r.bank.CountStatus()
+	r.stepTotal.Store(int64(alive + census))
+	return &Simulation{r: r, res: &Result{Config: r.cfg}, next: int(next)}, nil
+}

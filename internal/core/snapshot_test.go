@@ -1,0 +1,292 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
+)
+
+// stepsConfig is smallConfig with a multi-step horizon, the shape every
+// lifecycle test wants.
+func stepsConfig(p mesh.Problem, steps int) Config {
+	cfg := smallConfig(p)
+	cfg.Steps = steps
+	return cfg
+}
+
+// TestRunEqualsStepwiseSnapshotRestore is the tentpole acceptance property:
+// an uninterrupted Run must equal a run split into explicit Steps with a
+// Snapshot/RestoreSimulation round-trip mid-run — same bank bit for bit,
+// same event counters — for both schemes and both layouts. The counter-based
+// RNG is what makes this achievable: each particle's stream resumes from
+// the counter stored in its record.
+func TestRunEqualsStepwiseSnapshotRestore(t *testing.T) {
+	for _, scheme := range []Scheme{OverParticles, OverEvents} {
+		for _, layout := range []particle.Layout{particle.AoS, particle.SoA} {
+			t.Run(fmt.Sprintf("%v/%v", scheme, layout), func(t *testing.T) {
+				cfg := stepsConfig(mesh.CSP, 4)
+				cfg.Scheme = scheme
+				cfg.Layout = layout
+
+				full, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				sim, err := NewSimulation(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 2; i++ {
+					if err := sim.Step(); err != nil {
+						t.Fatalf("step %d: %v", i, err)
+					}
+				}
+				snap := sim.Snapshot()
+				sim = nil // "crash": the original engine is gone
+
+				resumed, err := RestoreSimulation(cfg, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := resumed.StepIndex(); got != 2 {
+					t.Fatalf("restored at step %d, want 2", got)
+				}
+				for !resumed.Done() {
+					if err := resumed.Step(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := resumed.Step(); !errors.Is(err, ErrFinished) {
+					t.Fatalf("step past the end: %v, want ErrFinished", err)
+				}
+				res := resumed.Finalize()
+
+				compareBanks(t, full.Bank, res.Bank)
+				if full.Counter != res.Counter {
+					t.Errorf("counters differ:\nfull    %+v\nresumed %+v", full.Counter, res.Counter)
+				}
+				if rel := relDiff(full.TallyTotal, res.TallyTotal); rel > 1e-9 {
+					t.Errorf("tally totals differ by %.3g relative", rel)
+				}
+				if res.Conservation.RelativeError > 1e-9 {
+					t.Errorf("resumed conservation error %.3g", res.Conservation.RelativeError)
+				}
+			})
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestSnapshotRoundTripLossless is the property test: Snapshot →
+// RestoreSimulation is lossless for both layouts at every step boundary,
+// including cross-layout restores (the record form is layout-independent).
+func TestSnapshotRoundTripLossless(t *testing.T) {
+	const steps = 3
+	for _, layout := range []particle.Layout{particle.AoS, particle.SoA} {
+		for _, restoreLayout := range []particle.Layout{particle.AoS, particle.SoA} {
+			for boundary := 0; boundary <= steps; boundary++ {
+				cfg := stepsConfig(mesh.Scatter, steps)
+				cfg.Layout = layout
+				cfg.Seed = 1000 + uint64(boundary) // vary the histories
+
+				sim, err := NewSimulation(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < boundary; i++ {
+					if err := sim.Step(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				snap := sim.Snapshot()
+
+				rcfg := cfg
+				rcfg.Layout = restoreLayout
+				restored, err := RestoreSimulation(rcfg, snap)
+				if err != nil {
+					t.Fatalf("%v->%v boundary %d: %v", layout, restoreLayout, boundary, err)
+				}
+				if restored.StepIndex() != boundary {
+					t.Fatalf("restored step %d, want %d", restored.StepIndex(), boundary)
+				}
+
+				var want, got particle.Particle
+				for i := 0; i < cfg.Particles; i++ {
+					sim.r.bank.Load(i, &want)
+					restored.r.bank.Load(i, &got)
+					if want != got {
+						t.Fatalf("%v->%v boundary %d: particle %d differs:\nwant %+v\ngot  %+v",
+							layout, restoreLayout, boundary, i, want, got)
+					}
+				}
+				origCells := sim.r.tly.Cells()
+				restCells := restored.r.tly.Cells()
+				for i := range origCells {
+					if origCells[i] != restCells[i] {
+						t.Fatalf("boundary %d: tally cell %d = %g, want %g",
+							boundary, i, restCells[i], origCells[i])
+					}
+				}
+				snap2 := restored.Snapshot()
+				if len(snap2) != len(snap) {
+					t.Fatalf("re-snapshot length %d, want %d", len(snap2), len(snap))
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotDecodeErrors covers the corrupted and short-buffer paths.
+func TestSnapshotDecodeErrors(t *testing.T) {
+	cfg := stepsConfig(mesh.CSP, 2)
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sim.Snapshot()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 4, len(snapshotMagic), 40, len(snap) / 2, len(snap) - 1} {
+			if _, err := RestoreSimulation(cfg, snap[:n]); !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Errorf("truncation to %d bytes: %v, want ErrSnapshotCorrupt", n, err)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		bad[0] ^= 0xff
+		if _, err := RestoreSimulation(cfg, bad); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("bad magic: %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		bad[len(snapshotMagic)] = 0xfe
+		if _, err := RestoreSimulation(cfg, bad); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("bad version: %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("flipped-byte", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		bad[len(bad)/2] ^= 0x01
+		if _, err := RestoreSimulation(cfg, bad); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("flipped byte: %v, want ErrSnapshotCorrupt (checksum)", err)
+		}
+	})
+	t.Run("config-mismatch", func(t *testing.T) {
+		other := cfg
+		other.Seed++
+		if _, err := RestoreSimulation(other, snap); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("different seed: %v, want ErrSnapshotMismatch", err)
+		}
+		other = cfg
+		other.Particles *= 2
+		if _, err := RestoreSimulation(other, snap); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("different population: %v, want ErrSnapshotMismatch", err)
+		}
+	})
+	t.Run("density-hook-mismatch", func(t *testing.T) {
+		// A hook's body cannot be canonicalised, but its presence is
+		// hashed: restoring a hookless snapshot under a hooked config
+		// (or vice versa) must be refused.
+		hooked := cfg
+		hooked.CustomDensity = func(m *mesh.Mesh) {}
+		if _, err := RestoreSimulation(hooked, snap); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("added density hook: %v, want ErrSnapshotMismatch", err)
+		}
+		hsim, err := NewSimulation(hooked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RestoreSimulation(cfg, hsim.Snapshot()); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("dropped density hook: %v, want ErrSnapshotMismatch", err)
+		}
+	})
+	t.Run("strategy-change-allowed", func(t *testing.T) {
+		// Scheme, threads and tally are execution strategy, not physics:
+		// a checkpoint resumes under any of them.
+		other := cfg
+		other.Scheme = OverEvents
+		other.Threads = 2
+		other.Tally = tally.ModePrivate
+		if _, err := RestoreSimulation(other, snap); err != nil {
+			t.Errorf("strategy change: %v, want success", err)
+		}
+	})
+}
+
+// TestSimulationResetMatchesFresh pins the sweep-amortisation contract: a
+// Reset simulation is indistinguishable from a fresh one, across problem,
+// layout, scheme and thread changes, both when allocations are reused and
+// when they must be rebuilt.
+func TestSimulationResetMatchesFresh(t *testing.T) {
+	first := stepsConfig(mesh.CSP, 2)
+	sim, err := NewSimulation(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []Config{
+		stepsConfig(mesh.CSP, 2),     // same shape: mesh, tables, bank all reused
+		stepsConfig(mesh.Scatter, 1), // new problem: mesh rebuilt
+		func() Config { // new layout + scheme + threads: bank and workers rebuilt
+			c := stepsConfig(mesh.CSP, 2)
+			c.Layout = particle.SoA
+			c.Scheme = OverEvents
+			c.Threads = 2
+			return c
+		}(),
+	}
+	for i, cfg := range cases {
+		if err := sim.Reset(cfg); err != nil {
+			t.Fatalf("reset %d: %v", i, err)
+		}
+		got, err := sim.Run()
+		if err != nil {
+			t.Fatalf("reset %d run: %v", i, err)
+		}
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareBanks(t, want.Bank, got.Bank)
+		if want.Counter != got.Counter {
+			t.Errorf("reset %d: counters differ:\nfresh %+v\nreset %+v", i, want.Counter, got.Counter)
+		}
+		if rel := relDiff(want.TallyTotal, got.TallyTotal); rel > 1e-9 {
+			t.Errorf("reset %d: tally totals differ by %.3g relative", i, rel)
+		}
+	}
+}
+
+// TestSimulationInterrupt checks the cooperative stop: an interrupted Step
+// reports ErrInterrupted and the simulation refuses further Steps.
+func TestSimulationInterrupt(t *testing.T) {
+	cfg := stepsConfig(mesh.CSP, 2)
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Interrupt()
+	if err := sim.Step(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("step after interrupt: %v, want ErrInterrupted", err)
+	}
+}

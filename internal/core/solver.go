@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -70,13 +71,19 @@ type workerState struct {
 
 // run holds the solver state for one configuration.
 type run struct {
-	cfg     Config
-	mesh    *mesh.Mesh
-	spec    mesh.Spec
-	ctx     events.Context
-	bank    *particle.Bank
-	tly     tally.Tally
-	workers []*workerState
+	cfg      Config
+	mesh     *mesh.Mesh
+	spec     mesh.Spec
+	specBase mesh.Spec // as built, before CustomSource override (Reset)
+	ctx      events.Context
+	bank     *particle.Bank
+	tly      tally.Tally
+	workers  []*workerState
+
+	// base carries counters restored from a snapshot; finish adds it to
+	// the live per-worker counters so a resumed run reports the same
+	// totals as an uninterrupted one.
+	base Counters
 
 	// Over Events scratch: the per-particle next event and facet
 	// geometry produced by the event kernel and consumed by the handler
@@ -98,8 +105,8 @@ type run struct {
 	step      atomic.Int64
 }
 
-// snapshot assembles a Progress report from the solver's live counters.
-func (r *run) snapshot() Progress {
+// progress assembles a Progress report from the solver's live counters.
+func (r *run) progress() Progress {
 	return Progress{
 		Step:  int(r.step.Load()),
 		Steps: r.cfg.Steps,
@@ -118,8 +125,10 @@ const (
 )
 
 // newRun validates the configuration, builds the mesh, tables, tally and
-// worker state, and populates the source. Shared by Run and RunDomains.
-func newRun(cfg Config) (*run, error) {
+// worker state, and (when populate is set) fills the source. Shared by
+// NewSimulation, RestoreSimulation and RunDomains; restores skip the
+// populate because the snapshot overwrites every particle record anyway.
+func newRun(cfg Config, populate bool) (*run, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,72 +139,216 @@ func newRun(cfg Config) (*run, error) {
 	if cfg.CustomDensity != nil {
 		cfg.CustomDensity(m)
 	}
-	if cfg.CustomSource != nil {
-		spec.Source = *cfg.CustomSource
-	}
-	pair := xs.GeneratePair(cfg.XSPoints)
 	r := &run{
-		cfg:  cfg,
-		mesh: m,
-		spec: spec,
+		cfg:      cfg,
+		mesh:     m,
+		spec:     spec,
+		specBase: spec,
 		ctx: events.Context{
 			Mesh:         m,
-			XS:           pair,
+			XS:           xs.GeneratePair(cfg.XSPoints),
 			WeightCutoff: cfg.WeightCutoff,
 			EnergyCutoff: cfg.EnergyCutoff,
 		},
 		bank: particle.NewBank(cfg.Layout, cfg.Particles),
 		tly:  tally.New(cfg.Tally, m.NumCells(), cfg.Threads),
 	}
-	r.workers = make([]*workerState, cfg.Threads)
-	for w := range r.workers {
-		r.workers[w] = &workerState{
-			id:      w,
-			capCur:  xs.NewCursor(pair.Capture),
-			scatCur: xs.NewCursor(pair.Scatter),
-		}
+	if cfg.CustomSource != nil {
+		r.spec.Source = *cfg.CustomSource
 	}
+	r.buildWorkers()
 	if cfg.Scheme == OverEvents {
 		r.evKind = make([]uint8, cfg.Particles)
 		r.evGeom = make([]uint8, cfg.Particles)
 	}
-	particle.Populate(r.bank, m, spec.Source, cfg.Timestep, cfg.Seed)
+	if populate {
+		particle.Populate(r.bank, m, r.spec.Source, cfg.Timestep, cfg.Seed)
+	}
 	return r, nil
 }
 
-// Run executes the configured simulation and returns its results.
-func Run(cfg Config) (*Result, error) {
-	return RunCtx(context.Background(), cfg, nil)
+// buildWorkers allocates fresh per-worker state (counters and cursors) over
+// the current cross-section tables.
+func (r *run) buildWorkers() {
+	r.workers = make([]*workerState, r.cfg.Threads)
+	for w := range r.workers {
+		r.workers[w] = &workerState{
+			id:      w,
+			capCur:  xs.NewCursor(r.ctx.XS.Capture),
+			scatCur: xs.NewCursor(r.ctx.XS.Scatter),
+		}
+	}
 }
 
-// RunCtx is Run with cooperative cancellation and optional live progress.
-// When ctx is canceled the solver loops bail out at their next poll of a
-// shared stop flag — within one particle history for Over Particles, within
-// one kernel round for Over Events — and RunCtx returns the context's
-// error. progress, when non-nil, receives periodic Progress reports from a
-// dedicated monitoring goroutine plus one final report before a successful
-// return; it is never called after RunCtx returns. The cancellation
-// plumbing costs one uncontended atomic load per history (or per kernel
-// chunk), so an uncanceled RunCtx matches Run's throughput.
-func RunCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	// A dead context skips setup entirely: a drained backlog of canceled
-	// jobs must not pay bank and mesh construction per job.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: run canceled: %w", err)
-	}
-	r, err := newRun(cfg)
+// Lifecycle errors.
+var (
+	// ErrFinished reports a Step on a simulation that has run every
+	// configured timestep.
+	ErrFinished = errors.New("core: simulation finished")
+	// ErrInterrupted reports a Step that was stopped mid-timestep by
+	// Interrupt or a canceled Drive context. The interrupted step did not
+	// complete; the simulation state is only consistent at the preceding
+	// step boundary, so resume from the last Snapshot.
+	ErrInterrupted = errors.New("core: step interrupted")
+)
+
+// StepFunc observes a simulation at each completed timestep boundary; Drive
+// invokes it between steps, outside every timed kernel region. The typical
+// use is per-step telemetry and checkpointing: the simulation is at a step
+// boundary, so Snapshot is valid inside the callback.
+type StepFunc func(*Simulation)
+
+// Simulation is the stateful solver engine: an explicit lifecycle over the
+// timestep loop that Run used to hide.
+//
+//	sim, _ := NewSimulation(cfg)
+//	for !sim.Done() {
+//		if err := sim.Step(); err != nil { ... }
+//		data := sim.Snapshot() // checkpoint at the boundary
+//	}
+//	res := sim.Finalize()
+//
+// A run split into Steps — including a Snapshot/RestoreSimulation
+// round-trip at any boundary — produces the same particle bank and event
+// counters as an uninterrupted Run, bit for bit: the counter-based RNG
+// makes every history independent of traversal and of when the process
+// hosting it restarts. Reset rebinds the engine to a new configuration
+// while reusing every compatible allocation (mesh, cross-section tables,
+// bank), which is how sweeps amortise setup across points.
+//
+// A Simulation is not safe for concurrent use; it owns goroutine pools
+// internally during Step.
+type Simulation struct {
+	r         *run
+	res       *Result
+	next      int // next 0-based timestep to execute
+	finalized bool
+}
+
+// NewSimulation validates the configuration and builds a simulation ready
+// for its first Step: mesh, cross-section tables, tally, worker state and
+// the populated source bank.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	r, err := newRun(cfg, true)
 	if err != nil {
 		return nil, err
 	}
-	cfg = r.cfg // Validate fills defaults
+	r.stepTotal.Store(int64(r.cfg.Particles))
+	return &Simulation{r: r, res: &Result{Config: r.cfg}}, nil
+}
 
-	// The watcher translates context cancellation into the stop flag the
-	// solver loops poll, keeping channel machinery off the hot path. The
-	// monitor samples the live counters so the user callback runs outside
-	// every timed region.
+// Config returns the validated configuration the simulation runs.
+func (s *Simulation) Config() Config { return s.r.cfg }
+
+// StepIndex reports the next timestep to execute (equivalently, the number
+// of completed timesteps).
+func (s *Simulation) StepIndex() int { return s.next }
+
+// Steps reports the configured timestep count.
+func (s *Simulation) Steps() int { return s.r.cfg.Steps }
+
+// Done reports whether every configured timestep has completed.
+func (s *Simulation) Done() bool { return s.next >= s.r.cfg.Steps }
+
+// Progress reports point-in-time completion from the live counters.
+func (s *Simulation) Progress() Progress { return s.r.progress() }
+
+// Elapsed reports the wallclock spent inside completed Steps.
+func (s *Simulation) Elapsed() time.Duration { return s.res.Wall }
+
+// TallyTotal reports the energy deposited so far, in weight-eV.
+func (s *Simulation) TallyTotal() float64 { return s.r.tly.Total() }
+
+// Population tallies the bank by particle status.
+func (s *Simulation) Population() (alive, census, dead int) {
+	return s.r.bank.CountStatus()
+}
+
+// Interrupt requests a cooperative stop: the current Step bails out at its
+// next poll (within one history for Over Particles, one kernel round for
+// Over Events) and returns ErrInterrupted. Drive installs this on context
+// cancellation. An interrupted simulation stays interrupted; resume from
+// the last Snapshot.
+func (s *Simulation) Interrupt() { s.r.stop.Store(true) }
+
+// Step executes the next timestep: census revival (steps after the first),
+// one pass of the configured scheme, and the optional per-step tally merge.
+// It fails with ErrFinished once every step has run and ErrInterrupted when
+// stopped mid-step.
+func (s *Simulation) Step() error {
+	if s.Done() {
+		return ErrFinished
+	}
+	r := s.r
+	if r.stop.Load() {
+		return ErrInterrupted
+	}
+	cfg := r.cfg
+	start := time.Now()
+	if s.next > 0 {
+		revived := r.reviveCensus()
+		// Reset done before publishing the new total so a concurrent
+		// monitor sample never pairs the old retired count with the
+		// (smaller) new population.
+		r.done.Store(0)
+		r.stepTotal.Store(int64(revived))
+	}
+	r.step.Store(int64(s.next))
+	switch cfg.Scheme {
+	case OverParticles:
+		r.stepOverParticles(s.res)
+	case OverEvents:
+		r.stepOverEvents(s.res)
+	default:
+		return fmt.Errorf("core: unknown scheme %v", cfg.Scheme)
+	}
+	if r.stop.Load() {
+		s.res.Wall += time.Since(start)
+		return ErrInterrupted
+	}
+	if cfg.Tally == tally.ModePrivate && cfg.MergePerStep {
+		t0 := time.Now()
+		r.tly.(*tally.Private).Merge()
+		s.res.Phases.Merge += time.Since(t0)
+	}
+	s.res.Wall += time.Since(start)
+	s.next++
+	return nil
+}
+
+// Finalize aggregates instrumentation, runs the conservation audit, and
+// returns the Result. It may be called once, at any step boundary; a
+// simulation finalized before Done reports the partial run. The returned
+// Result is owned by the caller; a later Reset detaches the engine from it.
+func (s *Simulation) Finalize() *Result {
+	if !s.finalized {
+		s.r.finish(s.res)
+		s.finalized = true
+	}
+	return s.res
+}
+
+// Run executes every remaining timestep and finalizes — the one-shot path
+// over the stepwise engine.
+func (s *Simulation) Run() (*Result, error) {
+	return s.Drive(context.Background(), nil, nil)
+}
+
+// Drive executes the remaining timesteps with cooperative cancellation,
+// optional live progress, and an optional per-step callback. It is the loop
+// RunCtx wraps: a watcher goroutine translates ctx cancellation into the
+// stop flag the solver loops poll, and a monitor goroutine samples live
+// counters for progress so user callbacks never run inside timed regions.
+// onStep, when non-nil, runs between timesteps at each completed boundary.
+func (s *Simulation) Drive(ctx context.Context, progress ProgressFunc, onStep StepFunc) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run canceled: %w", err)
+	}
+	r := s.r
+
 	quit := make(chan struct{})
 	var aux sync.WaitGroup
 	if ctx.Done() != nil {
@@ -218,7 +371,7 @@ func RunCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*Result, er
 			for {
 				select {
 				case <-tick.C:
-					progress(r.snapshot())
+					progress(r.progress())
 				case <-quit:
 					return
 				}
@@ -230,50 +383,137 @@ func RunCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*Result, er
 		aux.Wait()
 	}
 
-	res := &Result{Config: cfg}
-	start := time.Now()
-	r.stepTotal.Store(int64(cfg.Particles))
-	for step := 0; step < cfg.Steps && !r.stop.Load(); step++ {
-		if step > 0 {
-			revived := r.reviveCensus()
-			// Reset done before publishing the new total so a
-			// concurrent monitor sample never pairs the old
-			// retired count with the (smaller) new population.
-			r.done.Store(0)
-			r.stepTotal.Store(int64(revived))
+	for !s.Done() {
+		err := s.Step()
+		if errors.Is(err, ErrInterrupted) {
+			break
 		}
-		r.step.Store(int64(step))
-		switch cfg.Scheme {
-		case OverParticles:
-			r.stepOverParticles(res)
-		case OverEvents:
-			r.stepOverEvents(res)
-		default:
+		if err != nil {
 			stopAux()
-			return nil, fmt.Errorf("core: unknown scheme %v", cfg.Scheme)
+			return nil, err
 		}
-		if cfg.Tally == tally.ModePrivate && cfg.MergePerStep {
-			t0 := time.Now()
-			r.tly.(*tally.Private).Merge()
-			res.Phases.Merge += time.Since(t0)
+		if onStep != nil {
+			onStep(s)
 		}
 	}
-	res.Wall = time.Since(start)
 	stopAux()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: run canceled: %w", err)
 	}
-	if progress != nil {
-		progress(r.snapshot())
+	if r.stop.Load() {
+		return nil, ErrInterrupted
 	}
-	r.finish(res)
-	return res, nil
+	if progress != nil {
+		progress(r.progress())
+	}
+	return s.Finalize(), nil
+}
+
+// Reset rebinds the simulation to a new configuration, reusing every
+// allocation the change permits: the mesh and its cross-section tables
+// survive resolution-compatible sweeps, and the particle bank survives
+// layout- and population-compatible ones (a bank handed out through
+// KeepBank is never reused — the previous Result owns it). The bank is
+// repopulated from the new config's source and seed, so a Reset simulation
+// is indistinguishable from a fresh NewSimulation(cfg).
+func (s *Simulation) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	r := s.r
+	old := r.cfg
+	oldCells := r.mesh.NumCells()
+
+	// Mesh: rebuild on any geometry change, and whenever a density hook
+	// is (or was) involved — the hook mutates the mesh in place, so a
+	// hooked mesh has no pristine state to return to.
+	if cfg.Problem != old.Problem || cfg.NX != old.NX || cfg.NY != old.NY ||
+		cfg.CustomDensity != nil || old.CustomDensity != nil {
+		m, spec, err := mesh.Build(cfg.Problem, cfg.NX, cfg.NY)
+		if err != nil {
+			return err
+		}
+		if cfg.CustomDensity != nil {
+			cfg.CustomDensity(m)
+		}
+		r.mesh, r.specBase = m, spec
+		r.ctx.Mesh = m
+	}
+	r.spec = r.specBase
+	if cfg.CustomSource != nil {
+		r.spec.Source = *cfg.CustomSource
+	}
+
+	if cfg.XSPoints != old.XSPoints {
+		r.ctx.XS = xs.GeneratePair(cfg.XSPoints)
+	}
+	r.ctx.WeightCutoff = cfg.WeightCutoff
+	r.ctx.EnergyCutoff = cfg.EnergyCutoff
+
+	if cfg.Layout != old.Layout || cfg.Particles != old.Particles || old.KeepBank {
+		r.bank = particle.NewBank(cfg.Layout, cfg.Particles)
+	}
+	if cells := r.mesh.NumCells(); cfg.Tally != old.Tally || cfg.Threads != old.Threads || cells != oldCells {
+		r.tly = tally.New(cfg.Tally, cells, cfg.Threads)
+	} else {
+		r.tly.Reset()
+	}
+	r.cfg = cfg
+	r.buildWorkers() // fresh counters and cursors, as newRun would
+	if cfg.Scheme == OverEvents && len(r.evKind) != cfg.Particles {
+		r.evKind = make([]uint8, cfg.Particles)
+		r.evGeom = make([]uint8, cfg.Particles)
+	}
+
+	r.base = Counters{}
+	r.stop.Store(false)
+	r.done.Store(0)
+	r.step.Store(0)
+	r.stepTotal.Store(int64(cfg.Particles))
+	particle.Populate(r.bank, r.mesh, r.spec.Source, cfg.Timestep, cfg.Seed)
+
+	s.next = 0
+	s.finalized = false
+	s.res = &Result{Config: cfg}
+	return nil
+}
+
+// Run executes the configured simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg, nil)
+}
+
+// RunCtx is Run with cooperative cancellation and optional live progress:
+// a thin loop over the Simulation lifecycle. When ctx is canceled the
+// solver loops bail out at their next poll of a shared stop flag — within
+// one particle history for Over Particles, within one kernel round for
+// Over Events — and RunCtx returns the context's error. progress, when
+// non-nil, receives periodic Progress reports from a dedicated monitoring
+// goroutine plus one final report before a successful return; it is never
+// called after RunCtx returns. The cancellation plumbing costs one
+// uncontended atomic load per history (or per kernel chunk), so an
+// uncanceled RunCtx matches Run's throughput.
+func RunCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A dead context skips setup entirely: a drained backlog of canceled
+	// jobs must not pay bank and mesh construction per job.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run canceled: %w", err)
+	}
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Drive(ctx, progress, nil)
 }
 
 // finish aggregates instrumentation and runs the conservation audit.
 func (r *run) finish(res *Result) {
 	cfg := r.cfg
 	res.WorkerBusy = make([]time.Duration, len(r.workers))
+	res.Counter = r.base
 	for w, ws := range r.workers {
 		res.Counter.Add(&ws.c)
 		res.Counter.XSSearchSteps += ws.capCur.Steps + ws.scatCur.Steps

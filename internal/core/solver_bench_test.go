@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// BenchmarkUninterruptedSolve times the plain one-shot solve path — the
+// Run → Simulation.Drive loop with no checkpointing, streaming or resume —
+// so CI's bench job catches any throughput tax the lifecycle machinery
+// might grow.
+
+func BenchmarkUninterruptedSolve(b *testing.B) {
+	cfg := Default(mesh.CSP)
+	cfg.NX, cfg.NY = 512, 512
+	cfg.Particles = 20000
+	cfg.Threads = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package particle
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // Layout selects the memory layout of a Bank.
 type Layout int
@@ -178,32 +181,51 @@ func (b *Bank) CountStatus() (alive, census, dead int) {
 }
 
 // TotalWeight sums particle weights across the bank (population
-// conservation audits).
+// conservation audits). Field-direct paths read only the weight column (and
+// the weight field for AoS) instead of streaming whole records through
+// Load, so the per-step conservation audit stays cheap on large banks.
 func (b *Bank) TotalWeight() float64 {
 	var sum float64
-	var p Particle
-	for i := 0; i < b.n; i++ {
-		b.Load(i, &p)
-		sum += p.Weight
+	if b.layout == SoA {
+		for _, w := range b.weight {
+			sum += w
+		}
+		return sum
+	}
+	for i := range b.aos {
+		sum += b.aos[i].Weight
 	}
 	return sum
 }
 
 // TotalEnergy sums weight-scaled kinetic energy across the bank, in
-// weight-eV (energy conservation audits).
+// weight-eV (energy conservation audits). Like TotalWeight, it reads only
+// the fields it needs in either layout.
 func (b *Bank) TotalEnergy() float64 {
 	var sum float64
-	var p Particle
-	for i := 0; i < b.n; i++ {
-		b.Load(i, &p)
-		if p.Status != Dead {
+	if b.layout == SoA {
+		for i := range b.status {
+			if b.status[i] != Dead {
+				sum += b.weight[i] * b.energy[i]
+			}
+		}
+		return sum
+	}
+	for i := range b.aos {
+		if p := &b.aos[i]; p.Status != Dead {
 			sum += p.Weight * p.Energy
 		}
 	}
 	return sum
 }
 
-// BytesPerParticle reports the storage footprint of one particle record;
-// the architecture model uses it to estimate streaming traffic in the Over
-// Events scheme.
-const BytesPerParticle = 11*8 + 3*4 + 2*8 + 1 // floats + int32s + uint64s + status
+// BytesPerParticle reports the storage footprint of one particle record —
+// the traffic the Over Events scheme streams per slot sweep, which the
+// architecture model prices. It is derived from the element sizes of the
+// SoA field set (11 float64 columns, 3 int32, 2 uint64, 1 status byte)
+// rather than hand-summed; TestBytesPerParticleMatchesFieldSet guards it
+// against drift when fields are added.
+const BytesPerParticle = int(11*unsafe.Sizeof(float64(0)) +
+	3*unsafe.Sizeof(int32(0)) +
+	2*unsafe.Sizeof(uint64(0)) +
+	unsafe.Sizeof(Status(0)))

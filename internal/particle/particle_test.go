@@ -2,8 +2,10 @@ package particle
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
+	"unsafe"
 
 	"repro/internal/mesh"
 )
@@ -199,5 +201,77 @@ func BenchmarkLoadStoreSoA(b *testing.B) {
 		bank.Load(idx, &p)
 		p.X += 1
 		bank.Store(idx, &p)
+	}
+}
+
+// TestBytesPerParticleMatchesFieldSet is the drift guard for the derived
+// BytesPerParticle constant: it must equal the summed element sizes of the
+// actual SoA columns. Adding a field to the Bank without updating the
+// constant (and the snapshot format that shares the field set) fails here.
+func TestBytesPerParticleMatchesFieldSet(t *testing.T) {
+	b := NewBank(SoA, 1)
+	got := 0
+	for _, col := range []int{
+		int(unsafe.Sizeof(b.x[0])), int(unsafe.Sizeof(b.y[0])),
+		int(unsafe.Sizeof(b.ux[0])), int(unsafe.Sizeof(b.uy[0])),
+		int(unsafe.Sizeof(b.energy[0])), int(unsafe.Sizeof(b.weight[0])),
+		int(unsafe.Sizeof(b.mfp[0])), int(unsafe.Sizeof(b.tcens[0])),
+		int(unsafe.Sizeof(b.deposit[0])), int(unsafe.Sizeof(b.sigmaA[0])),
+		int(unsafe.Sizeof(b.sigmaS[0])), int(unsafe.Sizeof(b.cellX[0])),
+		int(unsafe.Sizeof(b.cellY[0])), int(unsafe.Sizeof(b.xsIndex[0])),
+		int(unsafe.Sizeof(b.rngCounter[0])), int(unsafe.Sizeof(b.id[0])),
+		int(unsafe.Sizeof(b.status[0])),
+	} {
+		got += col
+	}
+	if got != BytesPerParticle {
+		t.Fatalf("SoA field set is %d bytes per particle, BytesPerParticle = %d", got, BytesPerParticle)
+	}
+	// The working copy must not have grown fields the bank doesn't store
+	// (padding aside, the struct covers exactly the columns).
+	nFields := reflect.TypeOf(Particle{}).NumField()
+	if nFields != 17 {
+		t.Fatalf("Particle has %d fields, bank stores 17 columns — update Bank, BytesPerParticle and the core snapshot format together", nFields)
+	}
+}
+
+// TestTotalsFieldDirectFastPaths checks the layout-specific TotalWeight /
+// TotalEnergy paths against the one-Load-per-particle reference they
+// replaced, with a population that includes dead particles.
+func TestTotalsFieldDirectFastPaths(t *testing.T) {
+	m, _, err := mesh.Build(mesh.CSP, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []Layout{AoS, SoA} {
+		b := NewBank(layout, 257)
+		Populate(b, m, mesh.SourceBox{X0: 0, X1: 1, Y0: 0, Y1: 1}, 1e-7, 42)
+		var p Particle
+		for i := 0; i < b.Len(); i++ {
+			b.Load(i, &p)
+			p.Weight = 0.25 + float64(i%7)/8
+			p.Energy = 1e6 + float64(i)*31
+			if i%5 == 0 {
+				p.Status = Dead
+			} else if i%3 == 0 {
+				p.Status = Census
+			}
+			b.Store(i, &p)
+		}
+
+		var wantW, wantE float64
+		for i := 0; i < b.Len(); i++ {
+			b.Load(i, &p)
+			wantW += p.Weight
+			if p.Status != Dead {
+				wantE += p.Weight * p.Energy
+			}
+		}
+		if got := b.TotalWeight(); got != wantW {
+			t.Errorf("%v: TotalWeight = %g, want %g", layout, got, wantW)
+		}
+		if got := b.TotalEnergy(); got != wantE {
+			t.Errorf("%v: TotalEnergy = %g, want %g", layout, got, wantE)
+		}
 	}
 }

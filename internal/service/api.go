@@ -138,16 +138,22 @@ func (s Spec) Config() (core.Config, error) {
 
 // JobView is the wire representation of a job snapshot.
 type JobView struct {
-	ID        string     `json:"id"`
-	State     State      `json:"state"`
-	Cached    bool       `json:"cached,omitempty"`
-	Progress  float64    `json:"progress"`
-	Step      int        `json:"step"`
-	Steps     int        `json:"steps"`
-	Error     string     `json:"error,omitempty"`
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
+	ID       string  `json:"id"`
+	State    State   `json:"state"`
+	Cached   bool    `json:"cached,omitempty"`
+	Progress float64 `json:"progress"`
+	Step     int     `json:"step"`
+	Steps    int     `json:"steps"`
+	// StepsDone counts the per-timestep results recorded so far
+	// (streamed as SSE "step" events).
+	StepsDone int `json:"steps_done,omitempty"`
+	// ResumedFrom, when present, is the checkpointed step boundary the
+	// solver resumed at instead of re-running from scratch.
+	ResumedFrom *int       `json:"resumed_from,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Submitted   time.Time  `json:"submitted"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
 }
 
 func viewOf(j *Job) JobView {
@@ -159,7 +165,12 @@ func viewOf(j *Job) JobView {
 		Progress:  st.Progress.Fraction(),
 		Step:      st.Progress.Step,
 		Steps:     st.Progress.Steps,
+		StepsDone: st.StepsDone,
 		Submitted: st.Submitted,
+	}
+	if st.ResumedFrom >= 0 {
+		r := st.ResumedFrom
+		v.ResumedFrom = &r
 	}
 	if st.Err != nil {
 		v.Error = st.Err.Error()
@@ -209,10 +220,12 @@ func resultViewOf(res *core.Result) ResultView {
 // Server exposes an engine over HTTP/JSON:
 //
 //	POST   /v1/jobs            submit a Spec; 202 (queued) or 200 (cache hit)
+//	POST   /v1/batch           submit N Specs through one worker; per-item statuses
 //	GET    /v1/jobs            list jobs
 //	GET    /v1/jobs/{id}       job status
 //	GET    /v1/jobs/{id}/result  result; blocks when ?wait=true
-//	GET    /v1/jobs/{id}/stream  server-sent progress events
+//	GET    /v1/jobs/{id}/steps   per-timestep results recorded so far
+//	GET    /v1/jobs/{id}/stream  server-sent progress + per-step events
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/stats           engine counters
 //	GET    /healthz            liveness
@@ -225,6 +238,8 @@ type Server struct {
 func NewServer(e *Engine) *Server {
 	s := &Server{engine: e, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/steps", s.handleSteps)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -280,6 +295,80 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, v) // served from cache
 	} else {
 		writeJSON(w, code, v)
+	}
+}
+
+// BatchRequest is the wire format of POST /v1/batch.
+type BatchRequest struct {
+	Specs []Spec `json:"specs"`
+}
+
+// BatchItemView is one per-item admission outcome: an accepted item
+// carries its job view, a rejected one only its error, with an explicit
+// discriminator so clients never have to interpret a zero-valued job.
+type BatchItemView struct {
+	Accepted bool     `json:"accepted"`
+	Error    string   `json:"error,omitempty"`
+	Job      *JobView `json:"job,omitempty"`
+}
+
+// BatchResponse reports per-item admission outcomes; the batch as a whole
+// is never failed by one bad item.
+type BatchResponse struct {
+	Items []BatchItemView `json:"items"`
+}
+
+// maxBatchSpecs bounds one batch request; larger sweeps should be split so
+// admission control (per-shard queue depth) stays meaningful.
+const maxBatchSpecs = 1024
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: empty batch"))
+		return
+	}
+	if len(req.Specs) > maxBatchSpecs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: batch of %d specs exceeds limit %d", len(req.Specs), maxBatchSpecs))
+		return
+	}
+
+	// Resolve specs first so config errors surface per item while every
+	// resolvable config still reaches the engine as one pinned batch.
+	cfgs := make([]core.Config, 0, len(req.Specs))
+	cfgIdx := make([]int, 0, len(req.Specs))
+	resp := BatchResponse{Items: make([]BatchItemView, len(req.Specs))}
+	for i, spec := range req.Specs {
+		cfg, err := spec.Config()
+		if err != nil {
+			resp.Items[i].Error = err.Error()
+			continue
+		}
+		cfgs = append(cfgs, cfg)
+		cfgIdx = append(cfgIdx, i)
+	}
+	for k, item := range s.engine.SubmitBatch(cfgs) {
+		i := cfgIdx[k]
+		if item.Err != nil {
+			resp.Items[i].Error = item.Err.Error()
+			continue
+		}
+		v := viewOf(item.Job)
+		resp.Items[i] = BatchItemView{Accepted: true, Job: &v}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Steps())
 	}
 }
 
@@ -341,9 +430,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, viewOf(j))
 }
 
-// handleStream pushes progress as server-sent events every 100 ms until
-// the job is terminal or the client disconnects, then a final "done" event
-// with the closing snapshot.
+// handleStream pushes the job over server-sent events until it is terminal
+// or the client disconnects: a "step" event for every completed timestep
+// (each carrying its tally total, wallclock and population — the per-step
+// results a coupled client consumes), a "progress" snapshot every 100 ms,
+// and a final "done" event with the closing snapshot. Step events already
+// recorded when the client connects are replayed first, so a late
+// subscriber still sees the whole per-step history.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -363,16 +456,31 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 		fl.Flush()
 	}
+	sent := 0
+	emitSteps := func() {
+		fresh := j.StepsFrom(sent)
+		if len(fresh) == 0 {
+			return
+		}
+		for _, sv := range fresh {
+			data, _ := json.Marshal(sv)
+			fmt.Fprintf(w, "event: step\ndata: %s\n\n", data)
+		}
+		sent += len(fresh)
+		fl.Flush()
+	}
 	tick := time.NewTicker(100 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		select {
 		case <-j.Done():
+			emitSteps()
 			emit("done")
 			return
 		case <-r.Context().Done():
 			return
 		case <-tick.C:
+			emitSteps()
 			emit("progress")
 		}
 	}

@@ -314,3 +314,140 @@ func TestSpecConfigDefaults(t *testing.T) {
 		t.Fatal("source spec not applied")
 	}
 }
+
+// TestAPIStreamStepEvents pins the per-step SSE contract: a multi-step job
+// streams one "step" event per completed timestep (replayed for late
+// subscribers), each carrying the cumulative tally and the population
+// partition, before the closing "done" event.
+func TestAPIStreamStepEvents(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Shards: 1, QueueDepth: 4})
+	spec := `{"problem":"csp","nx":64,"particles":400,"steps":3,"threads":2,"seed":11}`
+	v, code := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	var steps []StepView
+	var inStep, sawDone bool
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: step":
+			inStep = true
+		case line == "event: done":
+			sawDone = true
+		case strings.HasPrefix(line, "data: ") && inStep:
+			var sv StepView
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sv); err != nil {
+				t.Fatalf("step payload: %v", err)
+			}
+			steps = append(steps, sv)
+			inStep = false
+		}
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done event")
+	}
+	if len(steps) != 3 {
+		t.Fatalf("received %d step events, want 3: %+v", len(steps), steps)
+	}
+	for i, sv := range steps {
+		if sv.Step != i || sv.Steps != 3 {
+			t.Errorf("step event %d: %+v", i, sv)
+		}
+		if sv.Alive != 0 || sv.Census+sv.Dead != 400 {
+			t.Errorf("step %d population %d/%d/%d does not partition the bank", i, sv.Alive, sv.Census, sv.Dead)
+		}
+	}
+	// Deposition accumulates monotonically across steps.
+	for i := 1; i < len(steps); i++ {
+		if steps[i].TallyTotal < steps[i-1].TallyTotal {
+			t.Errorf("tally decreased: step %d %g -> step %d %g",
+				i-1, steps[i-1].TallyTotal, i, steps[i].TallyTotal)
+		}
+	}
+
+	// The steps endpoint serves the same history to non-streaming clients.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/steps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var polled []StepView
+	if err := json.NewDecoder(resp2.Body).Decode(&polled); err != nil {
+		t.Fatal(err)
+	}
+	if len(polled) != len(steps) {
+		t.Fatalf("steps endpoint returned %d entries, want %d", len(polled), len(steps))
+	}
+}
+
+// TestAPIBatch submits a mixed batch and checks per-item statuses: valid
+// specs are admitted as jobs, the invalid one carries its own error, and
+// the accepted jobs run to completion.
+func TestAPIBatch(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Shards: 2, QueueDepth: 8})
+	body := `{"specs":[
+		{"problem":"csp","nx":64,"particles":200,"steps":2,"threads":1,"seed":1},
+		{"problem":"no-such-problem"},
+		{"problem":"scatter","nx":64,"particles":200,"threads":1,"seed":2}
+	]}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items) != 3 {
+		t.Fatalf("%d items, want 3", len(br.Items))
+	}
+	if !br.Items[0].Accepted || br.Items[0].Job == nil ||
+		!br.Items[2].Accepted || br.Items[2].Job == nil {
+		t.Fatalf("valid specs not admitted: %+v", br.Items)
+	}
+	if br.Items[1].Accepted || br.Items[1].Error == "" || br.Items[1].Job != nil {
+		t.Fatalf("invalid spec not rejected per-item: %+v", br.Items[1])
+	}
+
+	for _, idx := range []int{0, 2} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + br.Items[idx].Job.ID + "/result?wait=true")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch item %d result status %d", idx, resp.StatusCode)
+		}
+		var rv ResultView
+		if err := json.NewDecoder(resp.Body).Decode(&rv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if rv.Events == 0 {
+			t.Errorf("batch item %d produced no events", idx)
+		}
+	}
+
+	// Malformed batches are rejected wholesale.
+	for _, bad := range []string{`{"specs":[]}`, `{`, `{"nope":1}`} {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("batch %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

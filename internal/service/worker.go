@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,6 +40,22 @@ var ErrUnknownJob = errors.New("service: unknown job")
 // terminal state.
 var ErrNotFinished = errors.New("service: job not finished")
 
+// StepView summarises one completed timestep of a running job — the
+// payload of the per-step SSE events and the job's step history.
+type StepView struct {
+	// Step is the completed 0-based timestep; Steps the configured count.
+	Step  int `json:"step"`
+	Steps int `json:"steps"`
+	// TallyTotal is the cumulative deposited weight-eV after this step.
+	TallyTotal float64 `json:"tally_total"`
+	// WallSeconds is the cumulative solver wallclock after this step.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Alive, Census, Dead partition the bank after this step.
+	Alive  int `json:"alive"`
+	Census int `json:"census"`
+	Dead   int `json:"dead"`
+}
+
 // Job is one simulation managed by the engine: a validated config, its
 // cache key, and the lifecycle state machine. All mutable state is behind
 // the mutex; the done channel closes exactly once when the job reaches a
@@ -51,15 +69,17 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu        sync.Mutex
-	state     State
-	cached    bool
-	progress  core.Progress
-	result    *core.Result
-	err       error
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu          sync.Mutex
+	state       State
+	cached      bool
+	progress    core.Progress
+	steps       []StepView
+	resumedFrom int // step the solver resumed from; -1 for a fresh run
+	result      *core.Result
+	err         error
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
 }
 
 // Status is an immutable snapshot of a job.
@@ -68,10 +88,14 @@ type Status struct {
 	State     State
 	Cached    bool
 	Progress  core.Progress
-	Err       error
-	Submitted time.Time
-	Started   time.Time
-	Finished  time.Time
+	StepsDone int
+	// ResumedFrom is the checkpointed step the run resumed at, -1 when it
+	// started fresh.
+	ResumedFrom int
+	Err         error
+	Submitted   time.Time
+	Started     time.Time
+	Finished    time.Time
 }
 
 // ID returns the engine-issued job identifier.
@@ -88,15 +112,52 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Status{
-		ID:        j.id,
-		State:     j.state,
-		Cached:    j.cached,
-		Progress:  j.progress,
-		Err:       j.err,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
+		ID:          j.id,
+		State:       j.state,
+		Cached:      j.cached,
+		Progress:    j.progress,
+		StepsDone:   len(j.steps),
+		ResumedFrom: j.resumedFrom,
+		Err:         j.err,
+		Submitted:   j.submitted,
+		Started:     j.started,
+		Finished:    j.finished,
 	}
+}
+
+// Steps returns the per-timestep results recorded so far, oldest first
+// (never nil, so the wire encoding is always a JSON array). A resumed job's
+// history starts at the checkpointed step, not zero.
+func (j *Job) Steps() []StepView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]StepView{}, j.steps...)
+}
+
+// StepsFrom returns only the step results recorded after the first n, so a
+// streaming subscriber polls at O(new) cost instead of copying the whole
+// history every tick; nil when nothing new arrived.
+func (j *Job) StepsFrom(n int) []StepView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n >= len(j.steps) {
+		return nil
+	}
+	return append([]StepView(nil), j.steps[n:]...)
+}
+
+// addStep records a completed timestep.
+func (j *Job) addStep(v StepView) {
+	j.mu.Lock()
+	j.steps = append(j.steps, v)
+	j.mu.Unlock()
+}
+
+// setResumedFrom records the checkpoint boundary the solver resumed at.
+func (j *Job) setResumedFrom(step int) {
+	j.mu.Lock()
+	j.resumedFrom = step
+	j.mu.Unlock()
 }
 
 // Wait blocks until the job is terminal or ctx expires.
@@ -184,6 +245,20 @@ type Options struct {
 	// instead of each claiming every core. 0 means GOMAXPROCS/Shards,
 	// floored at 1.
 	ThreadsPerJob int
+	// CheckpointDir, when non-empty, enables job checkpointing: workers
+	// snapshot each cacheable job at timestep boundaries into this
+	// directory (keyed by config fingerprint), and a later submission of
+	// the same config — in this engine or one started after a crash or
+	// restart over the same directory — resumes from the last snapshot
+	// instead of re-running completed steps. Checkpoints are removed on
+	// successful completion. Checkpointing is best-effort: a directory
+	// that cannot be created disables it silently, so callers that need
+	// durability guaranteed should verify writability first (as
+	// cmd/neutral-serve does).
+	CheckpointDir string
+	// CheckpointEvery writes a snapshot every n completed steps. 0 means
+	// every step.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -201,6 +276,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ThreadsPerJob <= 0 {
 		o.ThreadsPerJob = max(1, runtime.GOMAXPROCS(0)/o.Shards)
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
 	}
 	return o
 }
@@ -232,13 +310,21 @@ type Engine struct {
 	runs      atomic.Uint64 // actual solver executions (cache misses)
 	running   atomic.Int64  // jobs currently on a worker
 
-	// runFn is the solver entry point; tests substitute stubs.
+	// runFn, when non-nil, replaces the Simulation-driven solve path;
+	// tests substitute stubs through it.
 	runFn func(context.Context, core.Config, core.ProgressFunc) (*core.Result, error)
 }
 
 // New builds an engine and starts its worker pool.
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
+	if opts.CheckpointDir != "" {
+		// Checkpointing is best-effort: an unusable directory disables
+		// it rather than failing the engine.
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			opts.CheckpointDir = ""
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		opts:   opts,
@@ -246,7 +332,6 @@ func New(opts Options) *Engine {
 		cancel: cancel,
 		cache:  NewCache(opts.CacheEntries),
 		jobs:   make(map[string]*Job),
-		runFn:  core.RunCtx,
 	}
 	e.shards = make([]*Queue, opts.Shards)
 	for i := range e.shards {
@@ -264,6 +349,12 @@ func New(opts Options) *Engine {
 // touching a worker) or enqueues it. A full shard queue fails with
 // ErrQueueFull; a closed engine with ErrClosed.
 func (e *Engine) Submit(cfg core.Config) (*Job, error) {
+	return e.submit(cfg, nil)
+}
+
+// submit is Submit with queue routing factored out: a nil queue routes by
+// fingerprint shard; a non-nil queue pins the job (batch submissions).
+func (e *Engine) submit(cfg core.Config, pinned *Queue) (*Job, error) {
 	if cfg.Threads == 0 {
 		cfg.Threads = e.opts.ThreadsPerJob
 	}
@@ -286,14 +377,15 @@ func (e *Engine) Submit(cfg core.Config) (*Job, error) {
 
 	jctx, jcancel := context.WithCancel(e.ctx)
 	j := &Job{
-		id:        id,
-		key:       key,
-		cfg:       cfg,
-		ctx:       jctx,
-		cancel:    jcancel,
-		done:      make(chan struct{}),
-		state:     StateQueued,
-		submitted: time.Now(),
+		id:          id,
+		key:         key,
+		cfg:         cfg,
+		ctx:         jctx,
+		cancel:      jcancel,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		resumedFrom: -1,
+		submitted:   time.Now(),
 	}
 	e.submitted.Add(1)
 
@@ -307,12 +399,65 @@ func (e *Engine) Submit(cfg core.Config) (*Job, error) {
 		}
 	}
 
-	if err := e.shardFor(key).Push(j); err != nil {
+	q := pinned
+	if q == nil {
+		q = e.shardFor(key)
+	}
+	if err := q.Push(j); err != nil {
 		jcancel()
 		return nil, err
 	}
 	e.record(j)
 	return j, nil
+}
+
+// BatchItem is one outcome of SubmitBatch: an admitted job or a per-item
+// admission error.
+type BatchItem struct {
+	Job *Job
+	Err error
+}
+
+// SubmitBatch submits the configs as one batch pinned to a single shard, so
+// one worker runs them back to back in order and its engine reuse kicks in:
+// consecutive compatible configs share one Simulation allocation (mesh,
+// cross-section tables, particle bank survive Reset), amortising setup
+// across the batch exactly as a sweep does. Admission is per item — a full
+// queue or invalid config fails that item, never the batch.
+//
+// Pinning trades the fingerprint-shard serialisation guarantee for shared
+// setup: a batch item can race an identical Submit routed to its home
+// shard, costing at most a duplicate solve (the pop-time cache re-check
+// still dedups the sequential case, and checkpoint writes are
+// collision-safe).
+func (e *Engine) SubmitBatch(cfgs []core.Config) []BatchItem {
+	// Pin the whole batch to the home shard of its first cacheable
+	// config so duplicate batches still serialise behind each other.
+	var pinned *Queue
+	for _, cfg := range cfgs {
+		c := cfg
+		if c.Threads == 0 {
+			c.Threads = e.opts.ThreadsPerJob
+		}
+		if c.Validate() != nil {
+			continue
+		}
+		key, cacheable := c.Fingerprint()
+		if !cacheable {
+			key = ""
+		}
+		pinned = e.shardFor(key)
+		break
+	}
+	if pinned == nil && len(e.shards) > 0 {
+		pinned = e.shards[e.rr.Add(1)%uint64(len(e.shards))]
+	}
+
+	items := make([]BatchItem, len(cfgs))
+	for i, cfg := range cfgs {
+		items[i].Job, items[i].Err = e.submit(cfg, pinned)
+	}
+	return items
 }
 
 // record indexes the job for lookup and listing.
@@ -334,20 +479,24 @@ func (e *Engine) shardFor(key string) *Queue {
 	return e.shards[h.Sum32()%uint32(len(e.shards))]
 }
 
-// worker drains one shard queue until the engine closes.
+// worker drains one shard queue until the engine closes. Each worker keeps
+// the Simulation of its last job alive so a compatible next job Resets it
+// instead of rebuilding mesh, tables and bank — the shared-setup
+// amortisation batches and sweeps rely on.
 func (e *Engine) worker(q *Queue) {
 	defer e.wg.Done()
+	var reuse *core.Simulation
 	for {
 		j, ok := q.Pop()
 		if !ok {
 			return
 		}
-		e.execute(j)
+		e.execute(j, &reuse)
 	}
 }
 
 // execute runs one job to a terminal state.
-func (e *Engine) execute(j *Job) {
+func (e *Engine) execute(j *Job, reuse **core.Simulation) {
 	j.mu.Lock()
 	if j.state != StateQueued { // canceled while queued
 		j.mu.Unlock()
@@ -372,7 +521,13 @@ func (e *Engine) execute(j *Job) {
 	}
 
 	e.runs.Add(1)
-	res, err := e.runFn(j.ctx, j.cfg, j.setProgress)
+	var res *core.Result
+	var err error
+	if e.runFn != nil {
+		res, err = e.runFn(j.ctx, j.cfg, j.setProgress)
+	} else {
+		res, err = e.solve(j, reuse)
+	}
 	switch {
 	case err == nil:
 		if j.key != "" {
@@ -390,6 +545,76 @@ func (e *Engine) execute(j *Job) {
 			e.failed.Add(1)
 		}
 	}
+}
+
+// solve drives one job through the core Simulation lifecycle: resume from a
+// checkpoint when one exists, otherwise Reset the worker's retained engine
+// or build a fresh one; stream per-step results onto the job; checkpoint at
+// step boundaries; drop the checkpoint on success.
+func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
+	ckpt := e.checkpointPath(j.key)
+	var sim *core.Simulation
+	if ckpt != "" {
+		if data, err := os.ReadFile(ckpt); err == nil {
+			if restored, rerr := core.RestoreSimulation(j.cfg, data); rerr == nil {
+				sim = restored
+				j.setResumedFrom(restored.StepIndex())
+			} else {
+				// Corrupt or mismatched checkpoint: discard it and
+				// run fresh rather than failing the job.
+				os.Remove(ckpt)
+			}
+		}
+	}
+	if sim == nil {
+		if *reuse != nil && (*reuse).Reset(j.cfg) == nil {
+			sim = *reuse
+		} else {
+			var err error
+			if sim, err = core.NewSimulation(j.cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	*reuse = sim
+
+	res, err := sim.Drive(j.ctx, j.setProgress, func(s *core.Simulation) {
+		j.addStep(stepViewOf(s))
+		if ckpt != "" && s.StepIndex()%e.opts.CheckpointEvery == 0 {
+			// Atomic and collision-safe (unique temp names), so even a
+			// batch-pinned duplicate of a routed job cannot publish a
+			// torn checkpoint. Best-effort: an error leaves the job
+			// running uncheckpointed.
+			core.WriteSnapshotFile(ckpt, s.Snapshot())
+		}
+	})
+	if err == nil && ckpt != "" {
+		os.Remove(ckpt)
+	}
+	return res, err
+}
+
+// stepViewOf summarises the simulation at the boundary it just completed.
+func stepViewOf(s *core.Simulation) StepView {
+	alive, census, dead := s.Population()
+	return StepView{
+		Step:        s.StepIndex() - 1,
+		Steps:       s.Steps(),
+		TallyTotal:  s.TallyTotal(),
+		WallSeconds: s.Elapsed().Seconds(),
+		Alive:       alive,
+		Census:      census,
+		Dead:        dead,
+	}
+}
+
+// checkpointPath maps a cacheable fingerprint to its checkpoint file; jobs
+// without a canonical fingerprint are never checkpointed.
+func (e *Engine) checkpointPath(key string) string {
+	if e.opts.CheckpointDir == "" || key == "" {
+		return ""
+	}
+	return filepath.Join(e.opts.CheckpointDir, key+".ckpt")
 }
 
 // Job looks up a job by ID.

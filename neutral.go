@@ -11,8 +11,12 @@
 //     paper's five evaluation devices (Broadwell, KNL, POWER8, K20X, P100);
 //   - Experiments regenerates every table and figure in the paper's
 //     evaluation section;
+//   - NewSimulation / RestoreSimulation expose the stateful solver
+//     lifecycle: explicit timesteps, checkpoint snapshots that resume bit
+//     for bit, and allocation reuse across parameter sweeps;
 //   - RunCtx / NewService expose the serving layer: cancelable runs with
-//     live progress, and the job-queue/worker-pool/result-cache engine
+//     live progress and per-step streaming, job checkpoint/resume, batch
+//     submission, and the job-queue/worker-pool/result-cache engine
 //     behind the neutral-serve HTTP API (cmd/neutral-serve).
 //
 // See README.md for a tour and DESIGN.md for the system inventory.
@@ -63,6 +67,19 @@ type (
 	// ProgressFunc observes a run's progress from a dedicated monitor
 	// goroutine.
 	ProgressFunc = core.ProgressFunc
+
+	// Simulation is the stateful solver engine: an explicit
+	// New → Step → Snapshot/Restore → Finalize lifecycle over the
+	// timestep loop, with Reset for amortising setup across sweeps. A run
+	// split into Steps — including a snapshot/restore round-trip at any
+	// boundary — reproduces an uninterrupted Run bit for bit.
+	Simulation = core.Simulation
+	// StepFunc observes a driven simulation at each completed timestep
+	// boundary (per-step telemetry, checkpointing).
+	StepFunc = core.StepFunc
+	// JobStepView is one completed timestep of a service job, as
+	// streamed over the SSE "step" events and the /steps endpoint.
+	JobStepView = service.StepView
 
 	// Service is the simulation service engine: bounded job queue,
 	// sharded worker pool, and content-addressed result cache.
@@ -145,6 +162,34 @@ func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 // and optional live progress reporting.
 func RunCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*Result, error) {
 	return core.RunCtx(ctx, cfg, progress)
+}
+
+// Simulation lifecycle errors.
+var (
+	// ErrFinished reports a Step on a simulation that has run every
+	// configured timestep.
+	ErrFinished = core.ErrFinished
+	// ErrInterrupted reports a Step stopped mid-timestep; resume from the
+	// last Snapshot.
+	ErrInterrupted = core.ErrInterrupted
+	// ErrSnapshotCorrupt reports a checkpoint that failed structural
+	// validation (truncation, checksum, version).
+	ErrSnapshotCorrupt = core.ErrSnapshotCorrupt
+	// ErrSnapshotMismatch reports a checkpoint whose physics identity
+	// does not match the config offered to RestoreSimulation.
+	ErrSnapshotMismatch = core.ErrSnapshotMismatch
+)
+
+// NewSimulation builds a stateful simulation ready for its first Step: the
+// explicit lifecycle behind Run, for callers that need per-step control,
+// checkpointing (Snapshot/RestoreSimulation) or setup reuse (Reset).
+func NewSimulation(cfg Config) (*Simulation, error) { return core.NewSimulation(cfg) }
+
+// RestoreSimulation rebuilds a simulation from a Snapshot taken under an
+// equivalent configuration and continues from the recorded step boundary;
+// run to completion it reproduces an uninterrupted run bit for bit.
+func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
+	return core.RestoreSimulation(cfg, data)
 }
 
 // NewService starts a simulation service engine: jobs submitted to it are
