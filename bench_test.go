@@ -206,6 +206,34 @@ func BenchmarkSolverOverEvents(b *testing.B) {
 	benchSolver(b, core.OverEvents)
 }
 
+// BenchmarkSolverSchemeTallyMatrix crosses both schemes with the hot-path
+// tally implementations (atomic and write-combining buffered) at the
+// default configuration — the native counterpart of the paper's Fig 7
+// tally study, extended with this repo's buffered mode.
+func BenchmarkSolverSchemeTallyMatrix(b *testing.B) {
+	for _, scheme := range []core.Scheme{core.OverParticles, core.OverEvents} {
+		for _, mode := range []tally.Mode{tally.ModeAtomic, tally.ModeBuffered} {
+			b.Run(scheme.String()+"/"+mode.String(), func(b *testing.B) {
+				cfg := core.Default(mesh.CSP)
+				cfg.Scheme = scheme
+				cfg.Tally = mode
+				var deposits, writes uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					deposits, writes = res.TallyDeposits, res.TallyBaseWrites
+				}
+				if writes > 0 {
+					b.ReportMetric(float64(deposits)/float64(writes), "coalesce-x")
+				}
+			})
+		}
+	}
+}
+
 func benchSolver(b *testing.B, scheme core.Scheme) {
 	b.Helper()
 	cfg := core.Default(mesh.CSP)

@@ -146,7 +146,7 @@ func run() error {
 		if err := w.Write([]string{"tally", "seconds", "conflicts"}); err != nil {
 			return err
 		}
-		for _, m := range []tally.Mode{tally.ModeAtomic, tally.ModePrivate, tally.ModeNull} {
+		for _, m := range []tally.Mode{tally.ModeAtomic, tally.ModePrivate, tally.ModeBuffered, tally.ModeNull} {
 			cfg := base
 			cfg.Tally = m
 			res, err := sweeper.run(cfg)

@@ -52,7 +52,7 @@ func run() error {
 		schedule = flag.String("schedule", "static", "schedule: static, static-chunk, dynamic, guided")
 		chunk    = flag.Int("chunk", 0, "schedule chunk size")
 		layout   = flag.String("layout", "aos", "particle layout: aos or soa")
-		tmode    = flag.String("tally", "atomic", "tally: atomic, private, serial or null")
+		tmode    = flag.String("tally", "atomic", "tally: atomic, private, serial, null or buffered")
 		merge    = flag.Bool("merge-per-step", false, "merge privatised tally every timestep")
 		paper    = flag.Bool("paper", false, "use full paper scale (4000^2 mesh, 1e6/1e7 particles)")
 		cells    = flag.Bool("print-tally", false, "print a coarse view of the energy deposition")
@@ -175,11 +175,17 @@ func printResult(res *core.Result) {
 		c.DensityReads, c.TallyFlushes, c.XSLookups,
 		float64(c.XSSearchSteps)/float64(max(c.XSLookups, 1)))
 	if c.OERounds > 0 {
-		fmt.Printf("over-events  %d rounds, %d slot sweeps\n", c.OERounds, c.OESlotSweeps)
+		fmt.Printf("over-events  %d rounds, %d naive slot sweeps, %d visited (active fraction %.3f)\n",
+			c.OERounds, c.OESlotSweeps, c.OEActiveVisits, c.OEActiveFraction())
 	}
 	if res.AtomicConflicts > 0 {
 		fmt.Printf("atomics      %d CAS conflicts (%.4f per flush)\n",
 			res.AtomicConflicts, float64(res.AtomicConflicts)/float64(max(c.TallyFlushes, 1)))
+	}
+	if res.TallyDeposits > 0 {
+		fmt.Printf("buffered     %d deposits -> %d mesh writes (%.1fx write-combining)\n",
+			res.TallyDeposits, res.TallyBaseWrites,
+			float64(res.TallyDeposits)/float64(max(res.TallyBaseWrites, 1)))
 	}
 	fmt.Printf("population   %d dead, weight %.1f -> %.1f\n",
 		c.Deaths, res.Conservation.BirthWeight, res.Conservation.FinalWeight)

@@ -32,9 +32,15 @@ type Workload struct {
 	XSSearchSteps float64
 	RNGDraws      float64
 
-	// Over Events structure.
-	OERounds     float64
-	OESlotSweeps float64
+	// Over Events structure. OESlotSweeps is the paper's naive cost
+	// (every kernel sweeps the whole bank); OEActiveVisits is the slots a
+	// compaction-based implementation touches (one event-kernel visit per
+	// segment, one handler visit per collision/facet, one census-kernel
+	// visit per census event). Their ratio is the active fraction the
+	// compacted Go solver reports.
+	OERounds       float64
+	OESlotSweeps   float64
+	OEActiveVisits float64
 
 	// DensityWorkingSetBytes and TallyWorkingSetBytes are the bytes of
 	// mesh actually touched: the full mesh for stream/csp (particles
@@ -107,6 +113,7 @@ func FromResult(res *core.Result, targetParticles, targetNX int) Workload {
 		}
 		w.OERounds = float64(c.OERounds) * roundScale
 		w.OESlotSweeps = (4*w.OERounds + w.Steps) * w.Particles
+		w.OEActiveVisits = w.Segments + w.Collisions + w.Facets + w.Census
 	}
 
 	meshBytes := w.MeshCells * 8

@@ -28,11 +28,21 @@ type Counters struct {
 	TallyFlushes uint64 // atomic read-modify-writes onto the tally mesh
 	RNGDraws     uint64 // cipher blocks generated
 
-	// Over Events bookkeeping: rounds of the outer loop and total
-	// particle slots visited across all kernels (the gathers the paper
-	// describes: "each kernel visits the entire list of particles").
-	OERounds     uint64
-	OESlotSweeps uint64
+	// Over Events bookkeeping. OERounds counts rounds of the outer loop.
+	// OESlotSweeps counts the particle slots the paper's naive scheme
+	// sweeps ("each kernel visits the entire list of particles", §V-B):
+	// 4 kernels x bank size per round plus one census sweep per step. It
+	// is a *logical* count — the cost model prices the paper's
+	// implementation from it — and is independent of the compaction the
+	// Go solver actually performs. OEActiveVisits counts the slots the
+	// compacted kernels really touch: event-kernel visits equal Segments,
+	// collision-kernel visits equal CollisionEvents, the fused
+	// tally+facet kernel visits FacetEvents slots, and the census kernel
+	// visits CensusEvents, so OEActiveVisits/OESlotSweeps is the active
+	// fraction — the share of the naive sweeps that was ever useful work.
+	OERounds       uint64
+	OESlotSweeps   uint64
+	OEActiveVisits uint64
 }
 
 // Add accumulates other into c.
@@ -50,6 +60,16 @@ func (c *Counters) Add(other *Counters) {
 	c.RNGDraws += other.RNGDraws
 	c.OERounds += other.OERounds
 	c.OESlotSweeps += other.OESlotSweeps
+	c.OEActiveVisits += other.OEActiveVisits
+}
+
+// OEActiveFraction reports the share of the naive scheme's slot sweeps that
+// touched an in-flight particle — what compaction saves is 1 minus this.
+func (c *Counters) OEActiveFraction() float64 {
+	if c.OESlotSweeps == 0 {
+		return 0
+	}
+	return float64(c.OEActiveVisits) / float64(c.OESlotSweeps)
 }
 
 // TotalEvents sums the three event kinds.

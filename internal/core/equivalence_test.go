@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/mesh"
+	"repro/internal/particle"
+	"repro/internal/tally"
 )
 
 // TestSchemeEquivalence is the central correctness property of the
@@ -116,14 +119,83 @@ func TestOverEventsBookkeeping(t *testing.T) {
 	if c.OERounds > c.Segments {
 		t.Errorf("rounds %d exceed total segments %d", c.OERounds, c.Segments)
 	}
+	// The compacted kernels visit exactly the active work: one event-
+	// kernel visit per segment, one handler visit per collision and per
+	// facet (tally+facet fused), one census-kernel visit per census
+	// event. Any drift here means a kernel is sweeping slots it should
+	// have compacted away (or skipping ones it must touch).
+	wantVisits := c.Segments + c.CollisionEvents + c.FacetEvents + c.CensusEvents
+	if c.OEActiveVisits != wantVisits {
+		t.Errorf("active visits = %d, want %d (segments+collisions+facets+census)",
+			c.OEActiveVisits, wantVisits)
+	}
+	if f := c.OEActiveFraction(); f <= 0 || f >= 1 {
+		t.Errorf("active fraction %.3f outside (0, 1)", f)
+	}
 	// Over Particles leaves these counters untouched.
 	cfg.Scheme = OverParticles
 	rop, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rop.Counter.OERounds != 0 || rop.Counter.OESlotSweeps != 0 {
+	if rop.Counter.OERounds != 0 || rop.Counter.OESlotSweeps != 0 || rop.Counter.OEActiveVisits != 0 {
 		t.Error("over-particles recorded over-events bookkeeping")
+	}
+}
+
+// TestCompactionEquivalenceMatrix pins the compacted Over Events scheme to
+// the Over Particles reference across both bank layouts and both hot-path
+// tally modes (atomic and buffered): final particle records bit for bit,
+// every physics counter exactly, tallies to floating-point reassociation
+// tolerance. This is the safety net the compaction rewrite and the
+// write-combining tally lean on — neither may change per-particle physics.
+func TestCompactionEquivalenceMatrix(t *testing.T) {
+	for _, p := range []mesh.Problem{mesh.Scatter, mesh.CSP} {
+		ref := smallConfig(p)
+		ref.Scheme = OverParticles
+		rop, err := Run(ref)
+		if err != nil {
+			t.Fatalf("%v reference: %v", p, err)
+		}
+		for _, layout := range []particle.Layout{particle.AoS, particle.SoA} {
+			for _, tm := range []tally.Mode{tally.ModeAtomic, tally.ModeBuffered} {
+				t.Run(fmt.Sprintf("%v/%v/%v", p, layout, tm), func(t *testing.T) {
+					cfg := smallConfig(p)
+					cfg.Scheme = OverEvents
+					cfg.Layout = layout
+					cfg.Tally = tm
+					roe, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareBanks(t, rop.Bank, roe.Bank)
+					if rop.Counter.TotalEvents() != roe.Counter.TotalEvents() ||
+						rop.Counter.Deaths != roe.Counter.Deaths ||
+						rop.Counter.TallyFlushes != roe.Counter.TallyFlushes ||
+						rop.Counter.RNGDraws != roe.Counter.RNGDraws {
+						t.Errorf("physics counters differ:\nop %+v\noe %+v", rop.Counter, roe.Counter)
+					}
+					if rel := math.Abs(rop.TallyTotal-roe.TallyTotal) / rop.TallyTotal; rel > 1e-9 {
+						t.Errorf("tally totals differ by %.3g relative", rel)
+					}
+					for i := range rop.Cells {
+						d := math.Abs(rop.Cells[i] - roe.Cells[i])
+						if d > 1e-6*(1+math.Abs(rop.Cells[i])) {
+							t.Fatalf("cell %d differs: %v vs %v", i, rop.Cells[i], roe.Cells[i])
+						}
+					}
+					if tm == tally.ModeBuffered {
+						if roe.TallyDeposits == 0 {
+							t.Error("buffered run reported no deposits")
+						}
+						if roe.TallyBaseWrites > roe.TallyDeposits {
+							t.Errorf("base writes %d exceed deposits %d",
+								roe.TallyBaseWrites, roe.TallyDeposits)
+						}
+					}
+				})
+			}
+		}
 	}
 }
 

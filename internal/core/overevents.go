@@ -13,86 +13,224 @@ import (
 // appropriate (paper §V-B).
 var oeSchedule = Schedule{Kind: ScheduleStatic}
 
+// oeState is the Over Events compaction scratch, allocated once per run and
+// reused across rounds and steps (nothing here is allocated inside the
+// timestep loop). The paper's scheme re-sweeps the full particle bank in
+// every kernel of every round; this solver instead keeps a persistent list
+// of active slot indices and per-event gather buckets, so each kernel
+// iterates exactly the particles it applies to — stream compaction in the
+// sense of the event-based GPU transport codes (MC/DC; Tramm et al. 2024).
+//
+// All bucket builds are deterministic: the static schedule assigns each
+// worker one contiguous segment of the iterated list, the worker appends
+// matches in segment order into a shadow region starting at its segment
+// offset (a worker can never produce more entries than its segment holds),
+// and packSegments compacts the regions in worker order. A list that starts
+// sorted therefore stays sorted, and the whole round structure is a pure
+// function of the bank state — which is what keeps stepwise/snapshot runs
+// bit-identical to uninterrupted ones.
+type oeState struct {
+	active []int32 // active slot indices for the current round (sorted)
+	next   []int32 // next round's active list (double buffer / K2 shadow)
+	coll   []int32 // collision bucket for the round
+	facet  []int32 // facet bucket for the round
+	facetG []uint8 // facet geometry aligned with facet: axis<<1 | (dir>0)
+	census []int32 // slots that reached census this step (grows per round)
+
+	// Per-worker segment bookkeeping for the gather kernels.
+	segLo  []int32
+	nColl  []int32
+	nFacet []int32
+	nCens  []int32
+	nKeep  []int32
+}
+
+// ensureOE sizes the compaction scratch for the configured bank and worker
+// count, reusing prior allocations when they fit.
+func (r *run) ensureOE() {
+	n, threads := r.cfg.Particles, r.cfg.Threads
+	if r.oe == nil {
+		r.oe = &oeState{}
+	}
+	sc := r.oe
+	if cap(sc.active) < n {
+		sc.active = make([]int32, 0, n)
+		sc.next = make([]int32, n)
+		sc.coll = make([]int32, n)
+		sc.facet = make([]int32, n)
+		sc.facetG = make([]uint8, n)
+		sc.census = make([]int32, n)
+	}
+	if len(sc.segLo) < threads {
+		sc.segLo = make([]int32, threads)
+		sc.nColl = make([]int32, threads)
+		sc.nFacet = make([]int32, threads)
+		sc.nCens = make([]int32, threads)
+		sc.nKeep = make([]int32, threads)
+	}
+}
+
+// oeWorkers caps a kernel's worker count by the work available: a tail
+// round carrying a few dozen in-flight particles runs on one or two workers
+// instead of paying a full fork-join for sub-chunk segments. The count is a
+// pure function of the iteration length, so bucket builds stay
+// deterministic.
+func oeWorkers(threads, n int) int {
+	const grain = 256 // minimum slots that justify another worker
+	if w := (n + grain - 1) / grain; w < threads {
+		threads = w
+	}
+	if threads < 1 {
+		return 1
+	}
+	return threads
+}
+
+// packSegments compacts per-worker shadow regions of buf into a contiguous
+// block starting at base: worker w wrote counts[w] entries at
+// base+segLo[w]. Segments are in ascending offset order and each holds no
+// more entries than its span, so every destination is at or before its
+// source and the forward copies never clobber unread data. Returns the
+// packed length.
+func packSegments(buf []int32, base int, segLo, counts []int32) int {
+	n := 0
+	for w := range counts {
+		c := int(counts[w])
+		if c == 0 {
+			continue
+		}
+		src := base + int(segLo[w])
+		if dst := base + n; dst != src {
+			copy(buf[dst:dst+c], buf[src:src+c])
+		}
+		n += c
+	}
+	return n
+}
+
 // stepOverEvents runs one timestep with the Over Events scheme (paper §V-B,
-// Listing 2): rounds of tight kernels, each sweeping the full particle list
-// and gathering the particles it applies to. Nothing is cached in registers
-// across kernels — all state lives in the particle store — and every kernel
-// ends in a synchronisation.
+// Listing 2): rounds of tight kernels. Nothing is cached in registers across
+// kernels — all state lives in the particle store — and every kernel ends in
+// a synchronisation, exactly as in the paper. The deviation (DESIGN.md §9)
+// is purely in iteration: where the paper's kernels each sweep the entire
+// particle list testing a per-slot event tag, these kernels iterate a
+// compacted active-index list and per-event buckets gathered by kernel 1,
+// so the per-round cost is O(active particles), not O(bank size). Per-
+// particle work, event order and RNG consumption are unchanged, which keeps
+// the scheme bit-identical to Over Particles.
 //
 // Kernel order per round:
 //
 //  1. event kernel: compute times to events, pick the nearest, move the
-//     particle (stores the event kind per particle);
-//  2. collision kernel: handle all colliding particles;
-//  3. tally kernel: the separate atomic flush loop (the vectorisation
-//     workaround of §VI-G) — flushes facet-encountering particles into the
-//     cell they are leaving;
-//  4. facet kernel: move particles across facets / reflect at boundaries.
+//     particle; gathers each particle's index into the collision or facet
+//     bucket (census particles retire into the census list);
+//  2. collision kernel: handle all colliding particles (its bucket);
+//  3. facet kernel (fusing the paper's kernels 3 and 4): flush each
+//     facet-encountering particle's deposit into the cell it is leaving
+//     (the separate tally loop of §VI-G — a vectorisation workaround a
+//     scalar backend does not need), then cross the facet or reflect.
 //
-// After the last round a census kernel flushes every particle that reached
-// census.
+// The next round's active list is the collision survivors followed by the
+// facet particles. After the last round a census kernel flushes every
+// particle that reached census.
 func (r *run) stepOverEvents(res *Result) {
-	n := r.bank.Len()
-	for {
+	sc := r.oe
+	threads := r.cfg.Threads
+	bankN := uint64(r.bank.Len())
+
+	// One status sweep builds the step's initial active set; every later
+	// round compacts it in place from the event buckets.
+	sc.active = r.bank.GatherStatus(sc.active[:0], particle.Alive)
+	censusLen := 0
+
+	for len(sc.active) > 0 {
 		// Cancellation poll: bounded by one round of kernels.
 		if r.stop.Load() {
 			return
 		}
-		alive := false
-		// Kernel 1: calculate_time_to_events + determine_next_event.
+		n := len(sc.active)
+		for w := 0; w < threads; w++ {
+			sc.segLo[w], sc.nColl[w], sc.nFacet[w], sc.nCens[w] = 0, 0, 0, 0
+		}
+
+		// Kernel 1: calculate_time_to_events + determine_next_event,
+		// gathering the handler buckets. The kinematic views load the
+		// fields advance reads and store the fields it can modify —
+		// for SoA that skips the weight/deposit/RNG/id/status columns
+		// a pure mover never touches.
 		t0 := time.Now()
-		parallelFor(r.cfg.Threads, n, oeSchedule, func(w, lo, hi int) {
+		parallelFor(oeWorkers(threads, n), n, oeSchedule, func(w, lo, hi int) {
 			ws := r.workers[w]
 			start := time.Now()
-			var p particle.Particle
-			for i := lo; i < hi; i++ {
-				r.evKind[i] = evNone
-				if r.bank.StatusOf(i) != particle.Alive {
-					continue
-				}
-				r.bank.Load(i, &p)
+			var scratch particle.Particle
+			nc, nf, ncen := 0, 0, 0
+			for k := lo; k < hi; k++ {
+				i := int(sc.active[k])
+				p := r.bank.View(i, &scratch)
 				// No register caching across events: the
 				// density and cross sections are re-read from
 				// memory for every round.
 				rho := r.mesh.Density(int(p.CellX), int(p.CellY))
 				ws.c.DensityReads++
 				if p.CachedSigmaA < 0 {
-					lookupXS(ws, &p)
+					lookupXS(ws, p)
 				}
 				speed := events.Speed(p.Energy)
 				sigmaT := xs.Macroscopic(p.CachedSigmaA+p.CachedSigmaS, rho)
-				ev, axis, dir := advance(r.mesh, &p, sigmaT, speed)
+				ev, axis, dir := advance(r.mesh, p, sigmaT, speed)
 				ws.c.Segments++
-				r.evKind[i] = uint8(ev)
-				if ev == events.Facet {
+				switch ev {
+				case events.Collision:
+					sc.coll[lo+nc] = int32(i)
+					nc++
+				case events.Facet:
 					g := uint8(axis) << 1
 					if dir > 0 {
 						g |= 1
 					}
-					r.evGeom[i] = g
-				}
-				if ev == events.Census {
+					sc.facet[lo+nf] = int32(i)
+					sc.facetG[lo+nf] = g
+					nf++
+				case events.Census:
 					ws.c.CensusEvents++
-					p.Status = particle.Census
-					r.done.Add(1)
+					sc.census[censusLen+lo+ncen] = int32(i)
+					ncen++
 				}
-				r.bank.Store(i, &p)
+				r.bank.CommitKinematics(i, p)
+				if ev == events.Census {
+					// After the commit: status is outside
+					// the kinematic field set.
+					r.bank.SetStatus(i, particle.Census)
+				}
 			}
-			ws.c.OESlotSweeps += uint64(hi - lo)
+			sc.segLo[w] = int32(lo)
+			sc.nColl[w], sc.nFacet[w], sc.nCens[w] = int32(nc), int32(nf), int32(ncen)
+			ws.c.OEActiveVisits += uint64(hi - lo)
+			if ncen > 0 {
+				r.done.Add(int64(ncen))
+			}
 			ws.busy += time.Since(start)
 		})
+		nColl := packSegments(sc.coll, 0, sc.segLo, sc.nColl[:threads])
+		nFacet := packSegments(sc.facet, 0, sc.segLo, sc.nFacet[:threads])
+		packGeom(sc.facetG, sc.segLo, sc.nFacet[:threads])
+		censusLen += packSegments(sc.census, censusLen, sc.segLo, sc.nCens[:threads])
 		res.Phases.EventKernel += time.Since(t0)
 
 		// Kernel 2: handle_collision for every colliding particle.
+		// Survivors are gathered into the next-round shadow; deaths
+		// retire here.
 		t0 = time.Now()
-		parallelFor(r.cfg.Threads, n, oeSchedule, func(w, lo, hi int) {
+		for w := 0; w < threads; w++ {
+			sc.segLo[w], sc.nKeep[w] = 0, 0
+		}
+		parallelFor(oeWorkers(threads, nColl), nColl, oeSchedule, func(w, lo, hi int) {
 			ws := r.workers[w]
 			start := time.Now()
 			var p particle.Particle
-			for i := lo; i < hi; i++ {
-				if r.evKind[i] != evCollision {
-					continue
-				}
+			nk, died := 0, 0
+			for k := lo; k < hi; k++ {
+				i := int(sc.coll[k])
 				r.bank.Load(i, &p)
 				s := p.Stream(r.cfg.Seed)
 				ws.c.CollisionEvents++
@@ -101,104 +239,122 @@ func (r *run) stepOverEvents(res *Result) {
 				if cr.Died {
 					ws.c.Deaths++
 					r.flush(ws, &p)
-					r.done.Add(1)
+					died++
 				} else {
 					// Invalidate the stored cross sections;
 					// next round's event kernel re-looks
 					// them up (nothing stays in registers).
 					p.CachedSigmaA = -1
 					p.CachedSigmaS = -1
+					sc.next[lo+nk] = int32(i)
+					nk++
 				}
 				p.SaveStream(&s)
 				r.bank.Store(i, &p)
 			}
-			ws.c.OESlotSweeps += uint64(hi - lo)
+			sc.segLo[w], sc.nKeep[w] = int32(lo), int32(nk)
+			ws.c.OEActiveVisits += uint64(hi - lo)
+			if died > 0 {
+				r.done.Add(int64(died))
+			}
 			ws.busy += time.Since(start)
 		})
+		nSurv := packSegments(sc.next, 0, sc.segLo, sc.nKeep[:threads])
 		res.Phases.CollisionKernel += time.Since(t0)
 
-		// Kernel 3: the separate tally loop — flush the deposit
-		// register of every facet-encountering particle into the cell
-		// it is about to leave.
+		// Kernels 3+4 fused: handle_facet — flush the deposit register
+		// into the cell being left (the paper's separate tally loop,
+		// §VI-G), then cross into the neighbour cell or reflect at the
+		// boundary, all through field views. The paper splits these
+		// into two kernels only because OpenMP's vectoriser could not
+		// digest the atomic inside the facet kernel; a scalar Go
+		// backend gains nothing from the split, and fusing removes a
+		// second full pass over the facet bucket. Per-particle order
+		// is unchanged (flush, then move), so the fusion is invisible
+		// to the physics. The flush time is attributed to FacetKernel;
+		// TallyKernel times the census flush pass.
 		t0 = time.Now()
-		parallelFor(r.cfg.Threads, n, oeSchedule, func(w, lo, hi int) {
+		parallelFor(oeWorkers(threads, nFacet), nFacet, oeSchedule, func(w, lo, hi int) {
 			ws := r.workers[w]
 			start := time.Now()
-			var p particle.Particle
-			for i := lo; i < hi; i++ {
-				if r.evKind[i] != evFacet {
-					continue
+			for k := lo; k < hi; k++ {
+				i := int(sc.facet[k])
+				ws.c.FacetEvents++
+				g := sc.facetG[k]
+				axis := int(g >> 1)
+				dir := -1
+				if g&1 != 0 {
+					dir = 1
 				}
-				r.bank.Load(i, &p)
-				r.flush(ws, &p)
-				r.bank.Store(i, &p)
-			}
-			ws.c.OESlotSweeps += uint64(hi - lo)
-			ws.busy += time.Since(start)
-		})
-		res.Phases.TallyKernel += time.Since(t0)
-
-		// Kernel 4: handle_facet — cross into the neighbour cell or
-		// reflect at the boundary.
-		t0 = time.Now()
-		anyAlive := make([]bool, r.cfg.Threads)
-		parallelFor(r.cfg.Threads, n, oeSchedule, func(w, lo, hi int) {
-			ws := r.workers[w]
-			start := time.Now()
-			var p particle.Particle
-			for i := lo; i < hi; i++ {
-				switch r.evKind[i] {
-				case evFacet:
-					r.bank.Load(i, &p)
-					ws.c.FacetEvents++
-					g := r.evGeom[i]
-					axis := int(g >> 1)
-					dir := -1
-					if g&1 != 0 {
-						dir = 1
+				if p := r.bank.Ref(i); p != nil {
+					// AoS: flush and cross in place — one
+					// record touch, no call layers. Same
+					// operations as the view path below.
+					if p.Deposit != 0 {
+						r.tly.Add(ws.id, r.mesh.Index(int(p.CellX), int(p.CellY)), p.Deposit)
+						p.Deposit = 0
 					}
-					if reflected := events.ApplyFacet(r.mesh, &p, axis, dir); reflected {
+					ws.c.TallyFlushes++
+					if events.ApplyFacet(r.mesh, p, axis, dir) {
 						ws.c.Reflections++
 					}
-					r.bank.Store(i, &p)
-					anyAlive[w] = true
-				case evCollision:
-					if r.bank.StatusOf(i) == particle.Alive {
-						anyAlive[w] = true
+				} else {
+					r.flushSlot(ws, i)
+					if events.ApplyFacetBank(r.mesh, r.bank, i, axis, dir) {
+						ws.c.Reflections++
 					}
 				}
 			}
-			ws.c.OESlotSweeps += uint64(hi - lo)
+			ws.c.OEActiveVisits += uint64(hi - lo)
 			ws.busy += time.Since(start)
 		})
 		res.Phases.FacetKernel += time.Since(t0)
 
 		r.workers[0].c.OERounds++
+		// The logical cost of the paper's naive round: four full-bank
+		// kernels (see Counters.OESlotSweeps).
+		r.workers[0].c.OESlotSweeps += 4 * bankN
 
-		for _, a := range anyAlive {
-			alive = alive || a
-		}
-		if !alive {
-			break
-		}
+		// Compact the active set: collision survivors then facet
+		// particles, both sorted, so the list stays two ordered runs
+		// and bank access stays near-sequential.
+		copy(sc.next[nSurv:nSurv+nFacet], sc.facet[:nFacet])
+		full := sc.next[:cap(sc.next)]
+		sc.next = sc.active[:cap(sc.active)]
+		sc.active = full[:nSurv+nFacet]
 	}
 
-	// Census kernel: flush everything that reached census this step.
+	// Census kernel: flush everything that reached census this step. The
+	// census list was gathered round by round, so this visits exactly the
+	// retiring particles instead of sweeping the bank.
 	t0 := time.Now()
-	parallelFor(r.cfg.Threads, r.bank.Len(), oeSchedule, func(w, lo, hi int) {
+	parallelFor(oeWorkers(threads, censusLen), censusLen, oeSchedule, func(w, lo, hi int) {
 		ws := r.workers[w]
 		start := time.Now()
-		var p particle.Particle
-		for i := lo; i < hi; i++ {
-			if r.bank.StatusOf(i) != particle.Census {
-				continue
-			}
-			r.bank.Load(i, &p)
-			r.flush(ws, &p)
-			r.bank.Store(i, &p)
+		for k := lo; k < hi; k++ {
+			r.flushSlot(ws, int(sc.census[k]))
 		}
-		ws.c.OESlotSweeps += uint64(hi - lo)
+		ws.c.OEActiveVisits += uint64(hi - lo)
 		ws.busy += time.Since(start)
 	})
 	res.Phases.TallyKernel += time.Since(t0)
+	// The naive scheme's census sweep visits the whole bank once per step.
+	r.workers[0].c.OESlotSweeps += bankN
+}
+
+// packGeom mirrors packSegments for the geometry bytes that ride alongside
+// the facet bucket.
+func packGeom(buf []uint8, segLo, counts []int32) {
+	n := 0
+	for w := range counts {
+		c := int(counts[w])
+		if c == 0 {
+			continue
+		}
+		src := int(segLo[w])
+		if n != src {
+			copy(buf[n:n+c], buf[src:src+c])
+		}
+		n += c
+	}
 }

@@ -21,10 +21,12 @@ import (
 )
 
 // Snapshot format constants. The magic and version head every checkpoint;
-// a CRC-32 of everything before it ends it.
+// a CRC-32 of everything before it ends it. Version 2 extended the counter
+// vector with OEActiveVisits (PR 3); v1 checkpoints are refused with the
+// version error, not misreported as corrupt.
 const (
 	snapshotMagic   = "NEUTSNAP"
-	snapshotVersion = uint32(1)
+	snapshotVersion = uint32(2)
 )
 
 // ErrSnapshotCorrupt reports a snapshot that failed structural validation:
@@ -73,7 +75,7 @@ func counterVector(c *Counters) []uint64 {
 		c.FacetEvents, c.CollisionEvents, c.CensusEvents, c.Reflections,
 		c.Deaths, c.Segments, c.XSLookups, c.XSSearchSteps,
 		c.DensityReads, c.TallyFlushes, c.RNGDraws,
-		c.OERounds, c.OESlotSweeps,
+		c.OERounds, c.OESlotSweeps, c.OEActiveVisits,
 	}
 }
 
@@ -83,7 +85,7 @@ func counterScatter(v []uint64) Counters {
 		Reflections: v[3], Deaths: v[4], Segments: v[5],
 		XSLookups: v[6], XSSearchSteps: v[7], DensityReads: v[8],
 		TallyFlushes: v[9], RNGDraws: v[10], OERounds: v[11],
-		OESlotSweeps: v[12],
+		OESlotSweeps: v[12], OEActiveVisits: v[13],
 	}
 }
 

@@ -32,8 +32,16 @@ type Result struct {
 	Cells []float64
 	// Conservation is the population/energy audit.
 	Conservation Conservation
-	// AtomicConflicts counts CAS retries in the atomic tally.
+	// AtomicConflicts counts CAS retries in the atomic tally (also
+	// reported for a buffered tally over an atomic base).
 	AtomicConflicts uint64
+	// TallyDeposits and TallyBaseWrites report write-combining for the
+	// buffered tally: logical deposits absorbed by the per-worker buffers
+	// and the batches that actually reached the shared mesh. Zero unless
+	// the run used tally.ModeBuffered. Like AtomicConflicts they describe
+	// only the live run (they are not carried across snapshot/resume).
+	TallyDeposits   uint64
+	TallyBaseWrites uint64
 	// Bank is the final particle bank (KeepBank only).
 	Bank *particle.Bank
 }
@@ -85,11 +93,9 @@ type run struct {
 	// totals as an uninterrupted one.
 	base Counters
 
-	// Over Events scratch: the per-particle next event and facet
-	// geometry produced by the event kernel and consumed by the handler
-	// kernels.
-	evKind []uint8
-	evGeom []uint8 // axis<<1 | (dir>0)
+	// Over Events compaction scratch: the persistent active-index list
+	// and per-event gather buckets (see oeState in overevents.go).
+	oe *oeState
 
 	// Cancellation and progress plumbing (RunCtx). stop is polled from
 	// the hot loops and stays read-only until a cancel, so the padding
@@ -114,15 +120,6 @@ func (r *run) progress() Progress {
 		Total: r.stepTotal.Load(),
 	}
 }
-
-// Event kind codes in evKind. evNone marks slots with no event this round
-// (census/dead particles).
-const (
-	evCollision = uint8(events.Collision)
-	evFacet     = uint8(events.Facet)
-	evCensus    = uint8(events.Census)
-	evNone      = uint8(255)
-)
 
 // newRun validates the configuration, builds the mesh, tables, tally and
 // worker state, and (when populate is set) fills the source. Shared by
@@ -158,8 +155,7 @@ func newRun(cfg Config, populate bool) (*run, error) {
 	}
 	r.buildWorkers()
 	if cfg.Scheme == OverEvents {
-		r.evKind = make([]uint8, cfg.Particles)
-		r.evGeom = make([]uint8, cfg.Particles)
+		r.ensureOE()
 	}
 	if populate {
 		particle.Populate(r.bank, m, r.spec.Source, cfg.Timestep, cfg.Seed)
@@ -460,9 +456,8 @@ func (s *Simulation) Reset(cfg Config) error {
 	}
 	r.cfg = cfg
 	r.buildWorkers() // fresh counters and cursors, as newRun would
-	if cfg.Scheme == OverEvents && len(r.evKind) != cfg.Particles {
-		r.evKind = make([]uint8, cfg.Particles)
-		r.evGeom = make([]uint8, cfg.Particles)
+	if cfg.Scheme == OverEvents {
+		r.ensureOE() // reuses prior scratch when it still fits
 	}
 
 	r.base = Counters{}
@@ -519,10 +514,6 @@ func (r *run) finish(res *Result) {
 		res.Counter.XSSearchSteps += ws.capCur.Steps + ws.scatCur.Steps
 		res.WorkerBusy[w] = ws.busy
 	}
-	if a, ok := r.tly.(*tally.Atomic); ok {
-		res.AtomicConflicts = a.Conflicts()
-	}
-
 	birthWeight := float64(cfg.Particles) * particle.SourceWeight
 	birthEnergy := birthWeight * particle.SourceEnergy
 
@@ -539,6 +530,19 @@ func (r *run) finish(res *Result) {
 	if cfg.Tally != tally.ModeNull {
 		res.Conservation.RelativeError =
 			math.Abs(birthEnergy-(res.TallyTotal+inFlight)) / birthEnergy
+	}
+
+	// Tally-implementation statistics, read after Total() above so the
+	// buffered tally's final flush is included in its write count.
+	switch t := r.tly.(type) {
+	case *tally.Atomic:
+		res.AtomicConflicts = t.Conflicts()
+	case *tally.Buffered:
+		res.TallyDeposits = t.Deposits()
+		res.TallyBaseWrites = t.BaseWrites()
+		if a, ok := t.Base().(*tally.Atomic); ok {
+			res.AtomicConflicts = a.Conflicts()
+		}
 	}
 
 	if cfg.KeepCells && cfg.Tally != tally.ModeNull {
@@ -570,12 +574,32 @@ func (r *run) reviveCensus() int {
 // flush empties the particle's energy-deposition register into the tally
 // mesh cell the particle currently occupies. This is the atomic
 // read-modify-write the paper identifies at every facet encounter and at
-// census; it is performed even when the register is zero, exactly as the
-// unconditional update in the C mini-app.
+// census. The C mini-app performs the update unconditionally; only
+// collisions ever charge the register, so on facet-dominated problems the
+// overwhelming majority of those RMWs add exactly 0.0 — a floating-point
+// identity (cells never hold -0, so x+0 == x bit for bit). The Go solver
+// elides that no-op memory operation. TallyFlushes still counts every
+// logical flush — the scheme-equivalence invariant and the architecture
+// model (which prices the paper's unconditional update) both key off the
+// counter, not the elided CAS.
 func (r *run) flush(ws *workerState, p *particle.Particle) {
-	cell := r.mesh.Index(int(p.CellX), int(p.CellY))
-	r.tly.Add(ws.id, cell, p.Deposit)
-	p.Deposit = 0
+	if p.Deposit != 0 {
+		cell := r.mesh.Index(int(p.CellX), int(p.CellY))
+		r.tly.Add(ws.id, cell, p.Deposit)
+		p.Deposit = 0
+	}
+	ws.c.TallyFlushes++
+}
+
+// flushSlot is flush through the bank's deposit field view: it empties slot
+// i's deposit register into the tally cell the particle occupies without
+// streaming the whole record through a working copy. The Over Events tally
+// and census kernels use it; like flush it elides the zero-deposit no-op.
+func (r *run) flushSlot(ws *workerState, i int) {
+	cx, cy, dep := r.bank.FlushDeposit(i)
+	if dep != 0 {
+		r.tly.Add(ws.id, r.mesh.Index(int(cx), int(cy)), dep)
+	}
 	ws.c.TallyFlushes++
 }
 

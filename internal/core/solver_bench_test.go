@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/mesh"
+	"repro/internal/particle"
 )
 
 // BenchmarkUninterruptedSolve times the plain one-shot solve path — the
@@ -21,5 +23,29 @@ func BenchmarkUninterruptedSolve(b *testing.B) {
 		if _, err := Run(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkOverEvents times the compacted Over Events scheme at the exact
+// default configuration (the BENCH_pr3.json acceptance point), for both
+// bank layouts, reporting the active fraction — the share of the naive
+// scheme's slot sweeps that touched in-flight work — alongside ns/op.
+func BenchmarkOverEvents(b *testing.B) {
+	for _, layout := range []particle.Layout{particle.AoS, particle.SoA} {
+		b.Run(fmt.Sprintf("layout=%v", layout), func(b *testing.B) {
+			cfg := Default(mesh.CSP)
+			cfg.Scheme = OverEvents
+			cfg.Layout = layout
+			var frac float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = res.Counter.OEActiveFraction()
+			}
+			b.ReportMetric(frac, "active-fraction")
+		})
 	}
 }

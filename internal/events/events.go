@@ -168,6 +168,30 @@ func ApplyFacet(m *mesh.Mesh, p *particle.Particle, axis, dir int) (reflected bo
 	return false
 }
 
+// ApplyFacetBank is ApplyFacet operating directly on a bank slot through
+// the axis field views, so the Over Events facet kernel can cross or
+// reflect a particle without streaming its whole record through a working
+// copy. It must stay semantically identical to ApplyFacet — the scheme
+// equivalence tests (Over Particles uses ApplyFacet, Over Events this)
+// pin the two together bit for bit.
+func ApplyFacetBank(m *mesh.Mesh, b *particle.Bank, i, axis, dir int) (reflected bool) {
+	if p := b.Ref(i); p != nil {
+		// AoS: operate on the record in place through the shared code.
+		return ApplyFacet(m, p, axis, dir)
+	}
+	limit := m.NX
+	if axis == 1 {
+		limit = m.NY
+	}
+	next := int(b.CellAxis(i, axis)) + dir
+	if next < 0 || next >= limit {
+		b.NegateUAxis(i, axis)
+		return true
+	}
+	b.SetCellAxis(i, axis, int32(next))
+	return false
+}
+
 // CollisionResult reports what a collision did, for instrumentation and
 // conservation audits.
 type CollisionResult struct {

@@ -15,8 +15,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("harness experiments take a few seconds")
 	}
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("registered %d experiments, want 15 (figs 3-14 + 3 in-text)", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("registered %d experiments, want 16 (figs 3-14 + 4 in-text)", len(exps))
 	}
 	for _, e := range exps {
 		e := e

@@ -147,6 +147,148 @@ func (b *Bank) Store(i int, p *Particle) {
 	b.status[i] = p.Status
 }
 
+// LoadKinematics copies the fields the Over Events event kernel reads —
+// position, direction, energy, the distance/censustime registers, the cached
+// cross sections and the cell — into the working copy p. For AoS the whole
+// contiguous record is copied (one block copy is as cheap as picking
+// fields); for SoA only the twelve kinematic columns are touched, skipping
+// weight, deposit, RNG, id and status. The untouched fields of p are
+// UNDEFINED after a SoA load: callers must pair this with StoreKinematics
+// (never Store) and must not read the non-kinematic fields.
+func (b *Bank) LoadKinematics(i int, p *Particle) {
+	if b.layout == AoS {
+		*p = b.aos[i]
+		return
+	}
+	p.X = b.x[i]
+	p.Y = b.y[i]
+	p.UX = b.ux[i]
+	p.UY = b.uy[i]
+	p.Energy = b.energy[i]
+	p.MFPToCollision = b.mfp[i]
+	p.TimeToCensus = b.tcens[i]
+	p.CachedSigmaA = b.sigmaA[i]
+	p.CachedSigmaS = b.sigmaS[i]
+	p.CellX = b.cellX[i]
+	p.CellY = b.cellY[i]
+	p.XSIndex = b.xsIndex[i]
+}
+
+// StoreKinematics writes back the fields the event kernel can modify:
+// position, the distance/census registers, and the cached cross-section
+// state. AoS stores the whole record (the loaded values ride along for the
+// untouched fields); SoA writes only the seven modified columns. Status is
+// never written — use SetStatus for the census transition.
+func (b *Bank) StoreKinematics(i int, p *Particle) {
+	if b.layout == AoS {
+		b.aos[i] = *p
+		return
+	}
+	b.x[i] = p.X
+	b.y[i] = p.Y
+	b.mfp[i] = p.MFPToCollision
+	b.tcens[i] = p.TimeToCensus
+	b.sigmaA[i] = p.CachedSigmaA
+	b.sigmaS[i] = p.CachedSigmaS
+	b.xsIndex[i] = p.XSIndex
+}
+
+// Ref returns a pointer to slot i's record for in-place access when the
+// layout stores whole records (AoS), and nil for SoA. In-place access skips
+// the two record copies a Load/Store round-trip costs; callers must fall
+// back to the copying paths when Ref returns nil.
+func (b *Bank) Ref(i int) *Particle {
+	if b.layout == AoS {
+		return &b.aos[i]
+	}
+	return nil
+}
+
+// View returns a mutable view of slot i's kinematic state: the record
+// itself for AoS (zero-copy), or scratch filled by LoadKinematics for SoA.
+// Writes through the returned pointer must be published with
+// CommitKinematics, which is a no-op when the view aliases the record.
+func (b *Bank) View(i int, scratch *Particle) *Particle {
+	if b.layout == AoS {
+		return &b.aos[i]
+	}
+	b.LoadKinematics(i, scratch)
+	return scratch
+}
+
+// CommitKinematics publishes kinematic-field writes made through a View:
+// nothing to do for AoS (the view is the record), a StoreKinematics for SoA.
+func (b *Bank) CommitKinematics(i int, p *Particle) {
+	if b.layout == AoS {
+		return
+	}
+	b.StoreKinematics(i, p)
+}
+
+// FlushDeposit reads the cell coordinates and deposit register of slot i and
+// zeroes the register — the tally-flush access path. The Over Events tally
+// and census kernels use it to flush without streaming whole records.
+func (b *Bank) FlushDeposit(i int) (cellX, cellY int32, dep float64) {
+	if b.layout == AoS {
+		p := &b.aos[i]
+		cellX, cellY, dep = p.CellX, p.CellY, p.Deposit
+		p.Deposit = 0
+		return
+	}
+	cellX, cellY, dep = b.cellX[i], b.cellY[i], b.deposit[i]
+	b.deposit[i] = 0
+	return
+}
+
+// CellAxis reads the cell coordinate of slot i along axis (0 = x, 1 = y).
+func (b *Bank) CellAxis(i, axis int) int32 {
+	if b.layout == AoS {
+		if axis == 0 {
+			return b.aos[i].CellX
+		}
+		return b.aos[i].CellY
+	}
+	if axis == 0 {
+		return b.cellX[i]
+	}
+	return b.cellY[i]
+}
+
+// SetCellAxis writes the cell coordinate of slot i along axis.
+func (b *Bank) SetCellAxis(i, axis int, v int32) {
+	if b.layout == AoS {
+		if axis == 0 {
+			b.aos[i].CellX = v
+		} else {
+			b.aos[i].CellY = v
+		}
+		return
+	}
+	if axis == 0 {
+		b.cellX[i] = v
+	} else {
+		b.cellY[i] = v
+	}
+}
+
+// NegateUAxis flips the direction component of slot i along axis — the
+// boundary-reflection write.
+func (b *Bank) NegateUAxis(i, axis int) {
+	if b.layout == AoS {
+		if axis == 0 {
+			b.aos[i].UX = -b.aos[i].UX
+		} else {
+			b.aos[i].UY = -b.aos[i].UY
+		}
+		return
+	}
+	if axis == 0 {
+		b.ux[i] = -b.ux[i]
+	} else {
+		b.uy[i] = -b.uy[i]
+	}
+}
+
 // StatusOf reads only the status of slot i; Over Events kernels use this to
 // gather active particles without loading whole records.
 func (b *Bank) StatusOf(i int) Status {
@@ -163,6 +305,28 @@ func (b *Bank) SetStatus(i int, s Status) {
 		return
 	}
 	b.status[i] = s
+}
+
+// GatherStatus appends the indices of every slot whose status equals s to
+// dst (ascending) and returns the extended slice. It is the active-set
+// builder for the compacted Over Events scheme: one O(N) sweep per timestep
+// replaces the per-round full-bank scans, and it reads only the status
+// column (or field), never whole records.
+func (b *Bank) GatherStatus(dst []int32, s Status) []int32 {
+	if b.layout == SoA {
+		for i, st := range b.status {
+			if st == s {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for i := range b.aos {
+		if b.aos[i].Status == s {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
 }
 
 // CountStatus tallies particles by status.

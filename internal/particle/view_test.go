@@ -1,0 +1,179 @@
+package particle
+
+import (
+	"testing"
+)
+
+// samples builds a small bank with a mix of statuses for view tests.
+func sampleBank(layout Layout) *Bank {
+	b := NewBank(layout, 6)
+	for i := 0; i < b.Len(); i++ {
+		p := Particle{
+			X: float64(i) + 0.25, Y: float64(i) + 0.5,
+			UX: 0.6, UY: -0.8,
+			Energy: 1e6 + float64(i), Weight: 0.5,
+			MFPToCollision: 1.5, TimeToCensus: 2e-8, Deposit: float64(i),
+			CachedSigmaA: 3, CachedSigmaS: 4,
+			CellX: int32(i), CellY: int32(i + 1), XSIndex: int32(10 * i),
+			RNGCounter: uint64(i), ID: uint64(100 + i), Status: Alive,
+		}
+		b.Store(i, &p)
+	}
+	b.SetStatus(1, Census)
+	b.SetStatus(4, Dead)
+	return b
+}
+
+// TestGatherStatus checks the active-set builder returns exactly the
+// matching slots, ascending, appended to the destination, in both layouts.
+func TestGatherStatus(t *testing.T) {
+	for _, layout := range []Layout{AoS, SoA} {
+		b := sampleBank(layout)
+		got := b.GatherStatus(nil, Alive)
+		want := []int32{0, 2, 3, 5}
+		if len(got) != len(want) {
+			t.Fatalf("%v: gathered %v, want %v", layout, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: gathered %v, want %v", layout, got, want)
+			}
+		}
+		// Appends to an existing prefix without clobbering it.
+		pre := b.GatherStatus([]int32{99}, Census)
+		if len(pre) != 2 || pre[0] != 99 || pre[1] != 1 {
+			t.Errorf("%v: append gather = %v, want [99 1]", layout, pre)
+		}
+	}
+}
+
+// TestFlushDeposit checks the tally-flush field view reads the cell and
+// empties the register without disturbing the rest of the record.
+func TestFlushDeposit(t *testing.T) {
+	for _, layout := range []Layout{AoS, SoA} {
+		b := sampleBank(layout)
+		var before Particle
+		b.Load(3, &before)
+		cx, cy, dep := b.FlushDeposit(3)
+		if cx != before.CellX || cy != before.CellY || dep != before.Deposit {
+			t.Errorf("%v: flush view (%d,%d,%v), want (%d,%d,%v)",
+				layout, cx, cy, dep, before.CellX, before.CellY, before.Deposit)
+		}
+		var after Particle
+		b.Load(3, &after)
+		want := before
+		want.Deposit = 0
+		if after != want {
+			t.Errorf("%v: flush disturbed the record:\n got %+v\nwant %+v", layout, after, want)
+		}
+	}
+}
+
+// TestAxisViews checks the facet-crossing field views against whole-record
+// loads in both layouts.
+func TestAxisViews(t *testing.T) {
+	for _, layout := range []Layout{AoS, SoA} {
+		b := sampleBank(layout)
+		if got := b.CellAxis(2, 0); got != 2 {
+			t.Errorf("%v: CellAxis x = %d, want 2", layout, got)
+		}
+		if got := b.CellAxis(2, 1); got != 3 {
+			t.Errorf("%v: CellAxis y = %d, want 3", layout, got)
+		}
+		b.SetCellAxis(2, 0, 7)
+		b.SetCellAxis(2, 1, 8)
+		b.NegateUAxis(2, 0)
+		var p Particle
+		b.Load(2, &p)
+		if p.CellX != 7 || p.CellY != 8 || p.UX != -0.6 || p.UY != -0.8 {
+			t.Errorf("%v: axis writes landed wrong: %+v", layout, p)
+		}
+		b.NegateUAxis(2, 1)
+		b.Load(2, &p)
+		if p.UY != 0.8 {
+			t.Errorf("%v: NegateUAxis y = %v, want 0.8", layout, p.UY)
+		}
+	}
+}
+
+// TestViewCommitKinematics checks the zero-copy view contract: kinematic
+// writes through a View land in the bank after CommitKinematics, the
+// non-kinematic fields survive untouched, and AoS views alias the record.
+func TestViewCommitKinematics(t *testing.T) {
+	for _, layout := range []Layout{AoS, SoA} {
+		b := sampleBank(layout)
+		var before Particle
+		b.Load(3, &before)
+
+		var scratch Particle
+		p := b.View(3, &scratch)
+		if (layout == AoS) != (p != &scratch) {
+			t.Fatalf("%v: view aliasing wrong (scratch used: %v)", layout, p == &scratch)
+		}
+		p.X += 10
+		p.TimeToCensus = 0
+		p.MFPToCollision = 9.5
+		p.CachedSigmaA = -1
+		p.CachedSigmaS = -1
+		b.CommitKinematics(3, p)
+
+		var after Particle
+		b.Load(3, &after)
+		want := before
+		want.X += 10
+		want.TimeToCensus = 0
+		want.MFPToCollision = 9.5
+		want.CachedSigmaA = -1
+		want.CachedSigmaS = -1
+		if after != want {
+			t.Errorf("%v: commit mismatch:\n got %+v\nwant %+v", layout, after, want)
+		}
+	}
+}
+
+// TestKinematicsLoadStore checks the copying kinematic paths used by the
+// SoA kernels: a LoadKinematics/StoreKinematics round-trip publishes the
+// kinematic fields and never touches weight, deposit, RNG, id or status.
+func TestKinematicsLoadStore(t *testing.T) {
+	for _, layout := range []Layout{AoS, SoA} {
+		b := sampleBank(layout)
+		var before Particle
+		b.Load(2, &before)
+
+		var p Particle
+		b.LoadKinematics(2, &p)
+		if p.X != before.X || p.Energy != before.Energy || p.CellY != before.CellY {
+			t.Fatalf("%v: kinematic load missed fields: %+v", layout, p)
+		}
+		p.Y += 3
+		p.CachedSigmaS = 11
+		b.StoreKinematics(2, &p)
+
+		var after Particle
+		b.Load(2, &after)
+		want := before
+		want.Y += 3
+		want.CachedSigmaS = 11
+		if after != want {
+			t.Errorf("%v: kinematic store mismatch:\n got %+v\nwant %+v", layout, after, want)
+		}
+	}
+}
+
+// TestRef checks in-place access is available exactly for AoS.
+func TestRef(t *testing.T) {
+	if p := NewBank(SoA, 2).Ref(0); p != nil {
+		t.Error("SoA Ref returned a pointer")
+	}
+	b := NewBank(AoS, 2)
+	p := b.Ref(1)
+	if p == nil {
+		t.Fatal("AoS Ref returned nil")
+	}
+	p.Weight = 0.125
+	var got Particle
+	b.Load(1, &got)
+	if got.Weight != 0.125 {
+		t.Error("AoS Ref write did not land in the bank")
+	}
+}

@@ -1,0 +1,165 @@
+package tally
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBufferedMatchesReference checks that arbitrary deposit streams come
+// out of a buffered tally with the same per-cell totals a plain serial
+// reference accumulates, to reassociation tolerance.
+func TestBufferedMatchesReference(t *testing.T) {
+	const cells, workers = 500, 4
+	b := NewBuffered(NewAtomic(cells), workers)
+	ref := make([]float64, cells)
+
+	// A deterministic stream mixing repeats (coalescing fast path),
+	// scattered cells (table churn) and zeros (identity elision).
+	state := uint64(12345)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		w := int(next()) % workers
+		cell := int(next()) % cells
+		v := float64(next()%1000) / 7
+		if next()%3 == 0 {
+			v = 0
+		}
+		// A burst of repeats exercises the last-cell register.
+		for j := 0; j < int(next()%3)+1; j++ {
+			b.Add(w, cell, v)
+			ref[cell] += v
+		}
+	}
+
+	got := b.Cells()
+	for i := range ref {
+		if d := math.Abs(got[i] - ref[i]); d > 1e-9*(1+math.Abs(ref[i])) {
+			t.Fatalf("cell %d: got %v want %v", i, got[i], ref[i])
+		}
+	}
+	if b.Deposits() == 0 || b.BaseWrites() == 0 {
+		t.Error("coalescing statistics not recorded")
+	}
+	if b.BaseWrites() > b.Deposits() {
+		t.Errorf("base writes %d exceed deposits %d", b.BaseWrites(), b.Deposits())
+	}
+}
+
+// TestBufferedCoalesces checks the write-combining property directly:
+// repeated deposits into one cell reach the base as a single write, and
+// zero deposits never reach it at all.
+func TestBufferedCoalesces(t *testing.T) {
+	base := NewAtomic(16)
+	b := NewBuffered(base, 1)
+	for i := 0; i < 1000; i++ {
+		b.Add(0, 3, 1.0)
+	}
+	for i := 0; i < 1000; i++ {
+		b.Add(0, 5, 0)
+	}
+	b.Flush()
+	if got := b.Deposits(); got != 2000 {
+		t.Errorf("deposits = %d, want 2000", got)
+	}
+	if got := b.BaseWrites(); got != 1 {
+		t.Errorf("base writes = %d, want 1 (one coalesced batch, zeros elided)", got)
+	}
+	if got := b.Total(); got != 1000 {
+		t.Errorf("total = %v, want 1000", got)
+	}
+	if got := base.Cells()[5]; got != 0 {
+		t.Errorf("zero deposits leaked %v into cell 5", got)
+	}
+}
+
+// TestBufferedReset checks Reset drops buffered content without flushing it
+// and zeroes the statistics.
+func TestBufferedReset(t *testing.T) {
+	b := NewBuffered(NewAtomic(8), 2)
+	b.Add(0, 1, 5)
+	b.Add(1, 2, 7)
+	b.Reset()
+	if got := b.Total(); got != 0 {
+		t.Errorf("total after reset = %v, want 0", got)
+	}
+	if b.Deposits() != 0 || b.BaseWrites() != 0 {
+		t.Error("statistics survived reset")
+	}
+	b.Add(0, 1, 3)
+	if got := b.Total(); got != 3 {
+		t.Errorf("total after reset+add = %v, want 3", got)
+	}
+}
+
+// TestBufferedModeConstruction checks the mode registry round-trip.
+func TestBufferedModeConstruction(t *testing.T) {
+	tl := New(ModeBuffered, 32, 3)
+	b, ok := tl.(*Buffered)
+	if !ok {
+		t.Fatalf("New(ModeBuffered) = %T, want *Buffered", tl)
+	}
+	if b.Name() != "buffered" || b.Workers() != 3 {
+		t.Errorf("unexpected identity: name %q workers %d", b.Name(), b.Workers())
+	}
+	if _, ok := b.Base().(*Atomic); !ok {
+		t.Errorf("base = %T, want *Atomic", b.Base())
+	}
+	if m, err := ParseMode("buffered"); err != nil || m != ModeBuffered {
+		t.Errorf("ParseMode(buffered) = %v, %v", m, err)
+	}
+	if ModeBuffered.String() != "buffered" {
+		t.Errorf("String() = %q", ModeBuffered.String())
+	}
+}
+
+// TestBufferedConcurrentFlushRace hammers the per-worker concurrency
+// contract under the race detector: every worker streams deposits into its
+// own buffer and flushes it repeatedly while the others do the same, with
+// the shared atomic base absorbing the concurrent batches. Integer-valued
+// deposits make the expected total exact regardless of interleaving.
+func TestBufferedConcurrentFlushRace(t *testing.T) {
+	const workers, cells, perWorker = 8, 256, 50000
+	b := NewBuffered(NewAtomic(cells), workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			state := uint64(w + 1)
+			for i := 0; i < perWorker; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				b.Add(w, int(state>>33)%cells, 1.0)
+				if i%997 == 0 {
+					b.FlushWorker(w)
+				}
+			}
+			b.FlushWorker(w)
+		}(w)
+	}
+	wg.Wait()
+	if got, want := b.Total(), float64(workers*perWorker); got != want {
+		t.Errorf("total = %v, want %v", got, want)
+	}
+	if got := b.Deposits(); got != workers*perWorker {
+		t.Errorf("deposits = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func BenchmarkBufferedAddCoalescing(b *testing.B) {
+	tl := NewBuffered(NewAtomic(1<<16), 1)
+	for i := 0; i < b.N; i++ {
+		tl.Add(0, (i>>6)&0xFFFF, 1.0) // runs of 64 repeats per cell
+	}
+}
+
+func BenchmarkBufferedAddScattered(b *testing.B) {
+	tl := NewBuffered(NewAtomic(1<<16), 1)
+	for i := 0; i < b.N; i++ {
+		tl.Add(0, (i*2654435761)&0xFFFF, 1.0)
+	}
+}

@@ -124,6 +124,9 @@ const (
 	TallyPrivate = tally.ModePrivate
 	TallySerial  = tally.ModeSerial
 	TallyNull    = tally.ModeNull
+	// TallyBuffered wraps the atomic tally in per-worker write-combining
+	// deposit buffers — the contended-tally optimisation.
+	TallyBuffered = tally.ModeBuffered
 )
 
 // Schedule kind constants.
