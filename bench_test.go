@@ -7,12 +7,15 @@ package neutral
 // cached across iterations; native measurements rerun per iteration.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/archmodel"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mesh"
+	"repro/internal/stats"
 	"repro/internal/tally"
 )
 
@@ -229,6 +232,36 @@ func BenchmarkSolverSchemeTallyMatrix(b *testing.B) {
 				if writes > 0 {
 					b.ReportMetric(float64(deposits)/float64(writes), "coalesce-x")
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkEnsemble measures the ensemble driver across replica counts and
+// schemes. The per-worker Simulation reuse (Reset) is the point: allocs/op
+// should grow far slower than linearly in replicas, because mesh, tables and
+// bank are allocated once per worker, not once per replica.
+func BenchmarkEnsemble(b *testing.B) {
+	for _, scheme := range []core.Scheme{core.OverParticles, core.OverEvents} {
+		for _, reps := range []int{2, 8} {
+			b.Run(fmt.Sprintf("%s/r%d", scheme, reps), func(b *testing.B) {
+				cfg := core.Default(mesh.CSP)
+				cfg.NX, cfg.NY = 128, 128
+				cfg.Particles = 500
+				cfg.Scheme = scheme
+				cfg.Threads = 1
+				cfg.Replicas = reps
+				b.ReportAllocs()
+				var ens *stats.Ensemble
+				for i := 0; i < b.N; i++ {
+					var err error
+					ens, err = stats.RunEnsemble(context.Background(), cfg, stats.Options{Workers: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(ens.AvgRelErr, "avg-relerr")
+				b.ReportMetric(ens.FOM, "fom")
 			})
 		}
 	}

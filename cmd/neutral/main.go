@@ -16,6 +16,12 @@
 // The resumed run produces the same particle bank and event counters an
 // uninterrupted run would have — the solver's RNG is counter-based, so
 // histories replay exactly from the snapshot.
+//
+// Ensemble runs fold R independent replicas into per-cell uncertainty:
+//
+//	neutral -problem csp -replicas 8              # mean ± relative error + FOM
+//	neutral -problem csp -replicas 8 -rr 1        # with weight-window population control
+//	neutral -problem csp -replicas 8 -print-tally # mean + uncertainty heat maps
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/particle"
+	"repro/internal/stats"
 	"repro/internal/tally"
 )
 
@@ -58,6 +65,8 @@ func run() error {
 		cells    = flag.Bool("print-tally", false, "print a coarse view of the energy deposition")
 		ckpt     = flag.String("checkpoint", "", "snapshot the run into this file at every timestep boundary")
 		resume   = flag.Bool("resume", false, "resume from the -checkpoint file when it exists")
+		replicas = flag.Int("replicas", 1, "independent replicas to run and fold into per-cell uncertainty")
+		rr       = flag.Float64("rr", 0, "weight-window target weight: enables Russian roulette + splitting population control (0 = off)")
 	)
 	flag.Parse()
 
@@ -94,8 +103,18 @@ func run() error {
 		cfg.Particles = *parts
 	}
 	cfg.KeepCells = *cells
+	if *rr > 0 {
+		cfg.WeightWindow = core.WeightWindow{Enabled: true, Target: *rr}
+	}
 	if *resume && *ckpt == "" {
 		return fmt.Errorf("-resume needs -checkpoint to name the snapshot file")
+	}
+	if *replicas > 1 {
+		if *ckpt != "" || *resume {
+			return fmt.Errorf("-checkpoint/-resume apply to single runs, not -replicas ensembles")
+		}
+		cfg.Replicas = *replicas
+		return runEnsemble(cfg, *cells)
 	}
 
 	// Build the engine: restored from the checkpoint when resuming, fresh
@@ -156,6 +175,38 @@ func run() error {
 	return nil
 }
 
+// runEnsemble executes the multi-replica path: R independent replicas on
+// disjoint RNG stream families, folded into per-cell mean, relative error
+// and figure of merit. SIGINT cancels the whole ensemble.
+func runEnsemble(cfg core.Config, printCells bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ens, err := stats.RunEnsemble(ctx, cfg, stats.Options{})
+	if err != nil {
+		return err
+	}
+	c := ens.Counters
+	fmt.Printf("problem      %s  (%dx%d mesh, %d particles, %d step(s), %d replicas)\n",
+		cfg.Problem, cfg.NX, cfg.NY, cfg.Particles, cfg.Steps, ens.Replicas)
+	fmt.Printf("scheme       %s  layout %s  tally %s\n", cfg.Scheme, cfg.Layout, cfg.Tally)
+	fmt.Printf("wallclock    %v end to end, %v solver across replicas\n", ens.Wall, ens.SolverWall)
+	fmt.Printf("events       %d total across replicas (facet %d, collision %d, census %d)\n",
+		c.TotalEvents(), c.FacetEvents, c.CollisionEvents, c.CensusEvents)
+	fmt.Printf("tally mean   %.6g weight-eV  +/- %.3g%% (1 sigma of the mean)\n",
+		ens.MeanTotal, 100*ens.TotalRelErr)
+	fmt.Printf("uncertainty  avg cell relerr %.3g%%, max %.3g%% over %d scored cells\n",
+		100*ens.AvgRelErr, 100*ens.MaxRelErr, ens.ScoredCells)
+	fmt.Printf("fom          %.4g /s (1 / relerr^2 / solver-seconds)\n", ens.FOM)
+	printWeightWindow(c)
+	if printCells {
+		fmt.Println("mean energy deposition (log shade, origin bottom-left):")
+		renderMap(ens.Mean, cfg.NX, cfg.NY, true)
+		fmt.Println("relative error (linear shade; darker = more uncertain):")
+		renderMap(ens.RelErr, cfg.NX, cfg.NY, false)
+	}
+	return nil
+}
+
 func printResult(res *core.Result) {
 	cfg := res.Config
 	c := res.Counter
@@ -187,11 +238,21 @@ func printResult(res *core.Result) {
 			res.TallyDeposits, res.TallyBaseWrites,
 			float64(res.TallyDeposits)/float64(max(res.TallyBaseWrites, 1)))
 	}
+	printWeightWindow(c)
 	fmt.Printf("population   %d dead, weight %.1f -> %.1f\n",
 		c.Deaths, res.Conservation.BirthWeight, res.Conservation.FinalWeight)
 	fmt.Printf("energy       deposited %.4g weight-eV, in flight %.4g, conservation error %.2e\n",
 		res.Conservation.Deposited, res.Conservation.InFlight, res.Conservation.RelativeError)
 	fmt.Printf("balance      load imbalance %.3f (max worker / mean)\n", res.LoadImbalance())
+}
+
+// printWeightWindow summarises population control when it fired; silent on
+// analog runs.
+func printWeightWindow(c core.Counters) {
+	if c.WWRoulette > 0 || c.WWSplits > 0 {
+		fmt.Printf("weight window  %d roulette games (%d killed), %d splits (+%d children)\n",
+			c.WWRoulette, c.WWKills, c.WWSplits, c.WWChildren)
+	}
 }
 
 // printTally renders the deposition mesh as a coarse ASCII heat map — the
@@ -200,14 +261,25 @@ func printTally(res *core.Result, cfg core.Config) {
 	if len(res.Cells) == 0 {
 		return
 	}
+	fmt.Println("energy deposition (log shade, origin bottom-left):")
+	renderMap(res.Cells, cfg.NX, cfg.NY, true)
+}
+
+// renderMap coarsens a per-cell field onto a 32x32 ASCII heat map, shading
+// either by log magnitude (deposition spans decades) or linearly (relative
+// error lives in [0, ~1]).
+func renderMap(cells []float64, nx, ny int, logScale bool) {
+	if len(cells) == 0 {
+		return
+	}
 	const grid = 32
 	sums := make([]float64, grid*grid)
 	maxSum := 0.0
-	for cy := 0; cy < cfg.NY; cy++ {
-		for cx := 0; cx < cfg.NX; cx++ {
-			gx := cx * grid / cfg.NX
-			gy := cy * grid / cfg.NY
-			sums[gy*grid+gx] += res.Cells[cy*cfg.NX+cx]
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			gx := cx * grid / nx
+			gy := cy * grid / ny
+			sums[gy*grid+gx] += cells[cy*nx+cx]
 		}
 	}
 	for _, s := range sums {
@@ -216,14 +288,16 @@ func printTally(res *core.Result, cfg core.Config) {
 		}
 	}
 	shades := []byte(" .:-=+*#%@")
-	fmt.Println("energy deposition (log shade, origin bottom-left):")
 	for gy := grid - 1; gy >= 0; gy-- {
 		row := make([]byte, grid)
 		for gx := 0; gx < grid; gx++ {
 			v := sums[gy*grid+gx]
 			idx := 0
 			if v > 0 && maxSum > 0 {
-				frac := 1 + 0.125*math.Log10(v/maxSum) // 8 decades of range
+				frac := v / maxSum
+				if logScale {
+					frac = 1 + 0.125*math.Log10(frac) // 8 decades of range
+				}
 				if frac < 0 {
 					frac = 0
 				}

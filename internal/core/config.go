@@ -87,6 +87,22 @@ type Config struct {
 	// privatisation slower than atomics on all architectures (§VI-F).
 	MergePerStep bool
 
+	// Replicas is the ensemble width: how many statistically independent
+	// replicas an ensemble driver (stats.RunEnsemble, the service's
+	// ensemble jobs) runs and folds into per-cell uncertainty. 0 and 1
+	// both mean a single run; the field does not change the physics of
+	// one simulation, only how many are run and how results are keyed.
+	Replicas int
+	// Replica is this run's 0-based index within the ensemble. It shifts
+	// every particle's RNG stream identity by Replica*Particles, so each
+	// replica samples a structurally disjoint family of Threefry streams
+	// under the shared Seed. Replica 0 is bit-identical to a standalone
+	// run of the same config.
+	Replica int
+	// WeightWindow enables weight-based population control: per-cell
+	// Russian roulette and splitting at timestep boundaries (§IV-E).
+	WeightWindow WeightWindow
+
 	// XSPoints is the cross-section table resolution.
 	XSPoints int
 	// WeightCutoff and EnergyCutoff terminate particle histories.
@@ -165,6 +181,19 @@ func (c Config) Fingerprint() (string, bool) {
 	fmt.Fprintf(h, "xs=%d wcut=%x ecut=%x bank=%t cells=%t ",
 		c.XSPoints, math.Float64bits(c.WeightCutoff),
 		math.Float64bits(c.EnergyCutoff), c.KeepBank, c.KeepCells)
+	// Normalised so validated and as-built configs hash identically:
+	// Validate turns Replicas 0 into 1 and fills the window defaults.
+	replicas := c.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	ww := c.WeightWindow
+	if ww.Enabled {
+		ww = ww.withDefaults()
+	}
+	fmt.Fprintf(h, "replicas=%d replica=%d ww=%t,%x,%x,%d ",
+		replicas, c.Replica, ww.Enabled,
+		math.Float64bits(ww.Target), math.Float64bits(ww.Ratio), ww.SplitMax)
 	if c.CustomSource != nil {
 		s := *c.CustomSource
 		fmt.Fprintf(h, "src=%x,%x,%x,%x ",
@@ -244,6 +273,25 @@ func (c *Config) Validate() error {
 	}
 	if c.Tally == tally.ModeSerial && c.Threads > 1 {
 		return fmt.Errorf("core: serial tally requires a single thread, got %d", c.Threads)
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("core: replica count %d must be non-negative", c.Replicas)
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	// Replica is deliberately not bounded by Replicas: ensemble drivers
+	// run replica r as a plain single-run config (Replicas 1, Replica r),
+	// which also keeps a replica submission from being mistaken for a
+	// nested ensemble.
+	if c.Replica < 0 {
+		return fmt.Errorf("core: replica index %d must be non-negative", c.Replica)
+	}
+	if c.WeightWindow.Enabled {
+		c.WeightWindow = c.WeightWindow.withDefaults()
+		if err := c.WeightWindow.validate(); err != nil {
+			return err
+		}
 	}
 	if err := c.Schedule.validate(); err != nil {
 		return err

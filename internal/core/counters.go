@@ -43,6 +43,15 @@ type Counters struct {
 	OERounds       uint64
 	OESlotSweeps   uint64
 	OEActiveVisits uint64
+
+	// Population-control bookkeeping (weight windows, §IV-E). WWRoulette
+	// counts roulette games played, WWKills the games lost; WWSplits
+	// counts split events, WWChildren the particles they appended. All
+	// zero unless Config.WeightWindow is enabled.
+	WWRoulette uint64
+	WWKills    uint64
+	WWSplits   uint64
+	WWChildren uint64
 }
 
 // Add accumulates other into c.
@@ -61,6 +70,10 @@ func (c *Counters) Add(other *Counters) {
 	c.OERounds += other.OERounds
 	c.OESlotSweeps += other.OESlotSweeps
 	c.OEActiveVisits += other.OEActiveVisits
+	c.WWRoulette += other.WWRoulette
+	c.WWKills += other.WWKills
+	c.WWSplits += other.WWSplits
+	c.WWChildren += other.WWChildren
 }
 
 // OEActiveFraction reports the share of the naive scheme's slot sweeps that
@@ -103,11 +116,13 @@ type PhaseTimings struct {
 	Fused time.Duration
 	// Merge is tally shard merging (private tallies only).
 	Merge time.Duration
+	// Control is the serial population-control pass (weight windows only).
+	Control time.Duration
 }
 
 // Total sums all phases.
 func (p PhaseTimings) Total() time.Duration {
-	return p.EventKernel + p.CollisionKernel + p.FacetKernel + p.TallyKernel + p.Fused + p.Merge
+	return p.EventKernel + p.CollisionKernel + p.FacetKernel + p.TallyKernel + p.Fused + p.Merge + p.Control
 }
 
 // Conservation is the per-run audit: with reflective boundaries and exact

@@ -45,10 +45,15 @@ type oeState struct {
 	nKeep  []int32
 }
 
-// ensureOE sizes the compaction scratch for the configured bank and worker
-// count, reusing prior allocations when they fit.
+// ensureOE sizes the compaction scratch for the current bank and worker
+// count, reusing prior allocations when they fit. stepOverEvents re-checks
+// at every step because weight-window splitting can grow the bank between
+// steps.
 func (r *run) ensureOE() {
-	n, threads := r.cfg.Particles, r.cfg.Threads
+	n, threads := r.bank.Len(), r.cfg.Threads
+	if n < r.cfg.Particles {
+		n = r.cfg.Particles
+	}
 	if r.oe == nil {
 		r.oe = &oeState{}
 	}
@@ -134,6 +139,7 @@ func packSegments(buf []int32, base int, segLo, counts []int32) int {
 // facet particles. After the last round a census kernel flushes every
 // particle that reached census.
 func (r *run) stepOverEvents(res *Result) {
+	r.ensureOE() // the bank may have grown since the last step
 	sc := r.oe
 	threads := r.cfg.Threads
 	bankN := uint64(r.bank.Len())

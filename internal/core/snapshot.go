@@ -22,11 +22,13 @@ import (
 
 // Snapshot format constants. The magic and version head every checkpoint;
 // a CRC-32 of everything before it ends it. Version 2 extended the counter
-// vector with OEActiveVisits (PR 3); v1 checkpoints are refused with the
+// vector with OEActiveVisits (PR 3); version 3 adds the population-control
+// counters and admits banks grown past the source population by
+// weight-window splitting (PR 4). Older checkpoints are refused with the
 // version error, not misreported as corrupt.
 const (
 	snapshotMagic   = "NEUTSNAP"
-	snapshotVersion = uint32(2)
+	snapshotVersion = uint32(3)
 )
 
 // ErrSnapshotCorrupt reports a snapshot that failed structural validation:
@@ -56,6 +58,18 @@ func physicsHash(cfg Config) [sha256.Size]byte {
 	fmt.Fprintf(h, "xs=%d wcut=%x ecut=%x density-hook=%t ",
 		cfg.XSPoints, math.Float64bits(cfg.WeightCutoff),
 		math.Float64bits(cfg.EnergyCutoff), cfg.CustomDensity != nil)
+	// Replica shifts the RNG stream families; the weight window inserts
+	// population-control moves. Both change histories, so both are part of
+	// the identity. The ensemble width (Replicas) is not: it never alters
+	// one simulation's histories, so a replica checkpoint may legally
+	// resume under a different ensemble framing.
+	ww := cfg.WeightWindow
+	if ww.Enabled {
+		ww = ww.withDefaults() // canonical under validation
+	}
+	fmt.Fprintf(h, "replica=%d ww=%t,%x,%x,%d ",
+		cfg.Replica, ww.Enabled,
+		math.Float64bits(ww.Target), math.Float64bits(ww.Ratio), ww.SplitMax)
 	if cfg.CustomSource != nil {
 		s := *cfg.CustomSource
 		fmt.Fprintf(h, "src=%x,%x,%x,%x ",
@@ -76,6 +90,7 @@ func counterVector(c *Counters) []uint64 {
 		c.Deaths, c.Segments, c.XSLookups, c.XSSearchSteps,
 		c.DensityReads, c.TallyFlushes, c.RNGDraws,
 		c.OERounds, c.OESlotSweeps, c.OEActiveVisits,
+		c.WWRoulette, c.WWKills, c.WWSplits, c.WWChildren,
 	}
 }
 
@@ -86,6 +101,7 @@ func counterScatter(v []uint64) Counters {
 		XSLookups: v[6], XSSearchSteps: v[7], DensityReads: v[8],
 		TallyFlushes: v[9], RNGDraws: v[10], OERounds: v[11],
 		OESlotSweeps: v[12], OEActiveVisits: v[13],
+		WWRoulette: v[14], WWKills: v[15], WWSplits: v[16], WWChildren: v[17],
 	}
 }
 
@@ -320,6 +336,12 @@ func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
 	if rd.bad {
 		return nil, fmt.Errorf("%w: truncated bank header", ErrSnapshotCorrupt)
 	}
+	// Bound the bank length by the bytes that could actually hold it
+	// before allocating anything: a corrupt (or adversarial) length field
+	// must fail cleanly, not attempt a gigantic allocation.
+	if rest := len(payload) - rd.off; n > uint64(rest)/uint64(particle.BytesPerParticle) {
+		return nil, fmt.Errorf("%w: bank length %d exceeds payload", ErrSnapshotCorrupt, n)
+	}
 
 	// The run is built unpopulated: every record is about to be
 	// overwritten from the snapshot.
@@ -330,7 +352,13 @@ func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
 	if hash := physicsHash(r.cfg); hash != storedHash {
 		return nil, ErrSnapshotMismatch
 	}
-	if int(n) != r.cfg.Particles {
+	switch {
+	case int(n) == r.cfg.Particles:
+	case r.cfg.WeightWindow.Enabled && int(n) > r.cfg.Particles:
+		// Splitting grew the bank past the source population; Resize the
+		// unpopulated bank to receive every record.
+		r.bank.Resize(int(n))
+	default:
 		return nil, fmt.Errorf("%w: bank holds %d particles, config wants %d",
 			ErrSnapshotMismatch, n, r.cfg.Particles)
 	}

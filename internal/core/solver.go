@@ -97,6 +97,11 @@ type run struct {
 	// and per-event gather buckets (see oeState in overevents.go).
 	oe *oeState
 
+	// wwRhoMax is the mesh's peak density, the normalisation of the
+	// per-cell weight-window target. Computed at (re)build time, only
+	// when the window is enabled.
+	wwRhoMax float64
+
 	// Cancellation and progress plumbing (RunCtx). stop is polled from
 	// the hot loops and stays read-only until a cancel, so the padding
 	// keeps it off the cache line of the counters the workers write.
@@ -157,10 +162,20 @@ func newRun(cfg Config, populate bool) (*run, error) {
 	if cfg.Scheme == OverEvents {
 		r.ensureOE()
 	}
+	if cfg.WeightWindow.Enabled {
+		r.wwRhoMax = r.maxDensity()
+	}
 	if populate {
-		particle.Populate(r.bank, m, r.spec.Source, cfg.Timestep, cfg.Seed)
+		particle.PopulateFamily(r.bank, m, r.spec.Source, cfg.Timestep, cfg.Seed, r.idBase())
 	}
 	return r, nil
+}
+
+// idBase is the first RNG stream identity of this run's source family:
+// replica r of an ensemble owns identities [r*Particles, (r+1)*Particles),
+// so replica families never overlap.
+func (r *run) idBase() uint64 {
+	return uint64(r.cfg.Replica) * uint64(r.cfg.Particles)
 }
 
 // buildWorkers allocates fresh per-worker state (counters and cursors) over
@@ -255,6 +270,14 @@ func (s *Simulation) Elapsed() time.Duration { return s.res.Wall }
 // TallyTotal reports the energy deposited so far, in weight-eV.
 func (s *Simulation) TallyTotal() float64 { return s.r.tly.Total() }
 
+// TallyCells returns the live per-cell tally at the current step boundary
+// (merged for privatised tallies, nil for the null tally). The slice is
+// owned by the simulation and invalidated by the next Step or Reset; callers
+// needing a stable copy must take one (or run with Config.KeepCells). The
+// ensemble driver folds it into its accumulators in place, so replicas add
+// zero per-replica tally allocations.
+func (s *Simulation) TallyCells() []float64 { return s.r.tly.Cells() }
+
 // Population tallies the bank by particle status.
 func (s *Simulation) Population() (alive, census, dead int) {
 	return s.r.bank.CountStatus()
@@ -288,6 +311,12 @@ func (s *Simulation) Step() error {
 		// (smaller) new population.
 		r.done.Store(0)
 		r.stepTotal.Store(int64(revived))
+	}
+	if cfg.WeightWindow.Enabled {
+		// Population control at the boundary, before the scheme loop:
+		// roulette and splitting are shared serial code, so the schemes
+		// stay bit-identical under the window.
+		r.controlStep(s.res)
 	}
 	r.step.Store(int64(s.next))
 	switch cfg.Scheme {
@@ -446,8 +475,14 @@ func (s *Simulation) Reset(cfg Config) error {
 	r.ctx.WeightCutoff = cfg.WeightCutoff
 	r.ctx.EnergyCutoff = cfg.EnergyCutoff
 
-	if cfg.Layout != old.Layout || cfg.Particles != old.Particles || old.KeepBank {
+	if cfg.Layout != old.Layout || old.KeepBank {
 		r.bank = particle.NewBank(cfg.Layout, cfg.Particles)
+	} else if r.bank.Len() != cfg.Particles {
+		// Covers both a population change and a bank a weight-window run
+		// grew past its source population: Resize reuses the backing
+		// arrays whenever capacity allows, so ensemble replicas never
+		// reallocate the bank.
+		r.bank.Resize(cfg.Particles)
 	}
 	if cells := r.mesh.NumCells(); cfg.Tally != old.Tally || cfg.Threads != old.Threads || cells != oldCells {
 		r.tly = tally.New(cfg.Tally, cells, cfg.Threads)
@@ -460,12 +495,16 @@ func (s *Simulation) Reset(cfg Config) error {
 		r.ensureOE() // reuses prior scratch when it still fits
 	}
 
+	r.wwRhoMax = 0
+	if cfg.WeightWindow.Enabled {
+		r.wwRhoMax = r.maxDensity()
+	}
 	r.base = Counters{}
 	r.stop.Store(false)
 	r.done.Store(0)
 	r.step.Store(0)
 	r.stepTotal.Store(int64(cfg.Particles))
-	particle.Populate(r.bank, r.mesh, r.spec.Source, cfg.Timestep, cfg.Seed)
+	particle.PopulateFamily(r.bank, r.mesh, r.spec.Source, cfg.Timestep, cfg.Seed, r.idBase())
 
 	s.next = 0
 	s.finalized = false

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+// ensembleReplicas is the replica sweep of the ensemble experiment.
+var ensembleReplicas = []int{2, 4, 8}
+
+// EnsembleStats measures ensemble statistics on the csp problem: relative
+// error and figure of merit across replica counts for both schemes, plus a
+// weight-window row. This is not a paper figure — the paper reports
+// single-run means only — but it is the study every production transport
+// code leads with (MC/DC batch statistics; FOM comparisons in the portable
+// OpenMC work): the relative error must fall as 1/√R, and the FOM is the
+// R-invariant currency variance-reduction techniques are priced in.
+func EnsembleStats(opt Options) (*Figure, error) {
+	fig := &Figure{
+		ID:    "ensemble",
+		Title: "Ensemble statistics: relative error and FOM vs replica count",
+		Paper: "beyond the paper: single-run means only; ensembles follow MC/DC-style batch statistics",
+		Columns: []string{
+			"replicas", "solver-s", "avg-relerr", "total-relerr", "fom",
+		},
+	}
+	cfg := nativeConfig(mesh.CSP, opt)
+	cfg.Steps = 2
+
+	relerrAt := map[string]float64{}
+	fomAt := map[string]float64{}
+	for _, scheme := range []core.Scheme{core.OverParticles, core.OverEvents} {
+		for _, reps := range ensembleReplicas {
+			c := cfg
+			c.Scheme = scheme
+			c.Replicas = reps
+			ens, err := stats.RunEnsemble(context.Background(), c, stats.Options{Workers: threadsFor(opt)})
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s-r%d", scheme, reps)
+			fig.AddRow(label, float64(reps), ens.SolverWall.Seconds(),
+				ens.AvgRelErr, ens.TotalRelErr, ens.FOM)
+			relerrAt[fmt.Sprintf("%s-%d", scheme, reps)] = ens.AvgRelErr
+			fomAt[fmt.Sprintf("%s-%d", scheme, reps)] = ens.FOM
+		}
+	}
+
+	// Weight-window comparison at the largest replica count.
+	ww := cfg
+	ww.Scheme = core.OverParticles
+	ww.Replicas = ensembleReplicas[len(ensembleReplicas)-1]
+	ww.WeightWindow = core.WeightWindow{Enabled: true}
+	ensWW, err := stats.RunEnsemble(context.Background(), ww, stats.Options{Workers: threadsFor(opt)})
+	if err != nil {
+		return nil, err
+	}
+	fig.AddRow(fmt.Sprintf("%s-r%d-ww", ww.Scheme, ww.Replicas),
+		float64(ww.Replicas), ensWW.SolverWall.Seconds(),
+		ensWW.AvgRelErr, ensWW.TotalRelErr, ensWW.FOM)
+
+	lo, hi := ensembleReplicas[0], ensembleReplicas[len(ensembleReplicas)-1]
+	want := math.Sqrt(float64(hi) / float64(lo))
+	for _, scheme := range []core.Scheme{core.OverParticles, core.OverEvents} {
+		a := relerrAt[fmt.Sprintf("%s-%d", scheme, lo)]
+		b := relerrAt[fmt.Sprintf("%s-%d", scheme, hi)]
+		if b > 0 {
+			fig.Finding("%s: relerr(r%d)/relerr(r%d) = %.2f (1/sqrt(R) predicts %.2f)",
+				scheme, lo, hi, a/b, want)
+		}
+	}
+	key := fmt.Sprintf("%s-%d", core.OverParticles, hi)
+	fig.Finding("weight window at r%d: avg relerr %.3g vs %.3g analog, FOM %.4g vs %.4g",
+		ww.Replicas, ensWW.AvgRelErr, relerrAt[key], ensWW.FOM, fomAt[key])
+	fig.Note("FOM = 1/(avg relerr^2 x solver seconds); invariant under R for a well-behaved estimator")
+	return fig, nil
+}

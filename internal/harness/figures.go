@@ -31,6 +31,7 @@ func init() {
 	register("text-tally", TextTallyFraction)
 	register("text-search", TextXSSearch)
 	register("text-compaction", TextCompaction)
+	register("ensemble", EnsembleStats)
 }
 
 // modelOpts is the standard model operating point: full threads, compact

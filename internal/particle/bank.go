@@ -97,6 +97,91 @@ func (b *Bank) Layout() Layout { return b.layout }
 // Len reports the particle count.
 func (b *Bank) Len() int { return b.n }
 
+// resized returns s with length n, reusing its backing array when the
+// capacity allows and copying into a fresh allocation otherwise — the shared
+// capacity path behind Resize and the SoA Append columns.
+func resized[T any](s []T, n int) []T {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	out := make([]T, n, growCap(cap(s), n))
+	copy(out, s)
+	return out
+}
+
+// growCap doubles the capacity until it covers n, so a splitting cascade
+// appends in amortised O(1) instead of reallocating every column per child.
+func growCap(c, n int) int {
+	if c == 0 {
+		return n
+	}
+	for c < n {
+		c *= 2
+	}
+	return c
+}
+
+// Append adds a particle to the end of the bank, growing the storage of
+// either layout, and returns its slot index. Population-control splitting is
+// the only writer: the bank is otherwise fixed-population, exactly as in the
+// C mini-app. Append is not safe for concurrent use; the solver only calls
+// it from the serial population-control pass between timesteps.
+func (b *Bank) Append(p *Particle) int {
+	i := b.n
+	b.Resize(b.n + 1)
+	b.Store(i, p)
+	return i
+}
+
+// Resize sets the bank's particle count to n, reusing the existing backing
+// arrays whenever their capacity allows (both layouts). Growth exposes
+// zero-valued records in slots that were never stored; shrinking keeps the
+// capacity for later regrowth, which is how Reset reuses a bank that a
+// weight-window run grew past its source population.
+func (b *Bank) Resize(n int) {
+	if n == b.n {
+		return
+	}
+	if b.layout == AoS {
+		if n > b.n && n <= cap(b.aos) {
+			// Reused slots may hold stale records from a previous run;
+			// re-zero them so growth always exposes blank particles.
+			clear(b.aos[b.n:n])
+		}
+		b.aos = resized(b.aos, n)
+		b.n = n
+		return
+	}
+	grow := n > b.n
+	b.x = resizedClear(b.x, b.n, n, grow)
+	b.y = resizedClear(b.y, b.n, n, grow)
+	b.ux = resizedClear(b.ux, b.n, n, grow)
+	b.uy = resizedClear(b.uy, b.n, n, grow)
+	b.energy = resizedClear(b.energy, b.n, n, grow)
+	b.weight = resizedClear(b.weight, b.n, n, grow)
+	b.mfp = resizedClear(b.mfp, b.n, n, grow)
+	b.tcens = resizedClear(b.tcens, b.n, n, grow)
+	b.deposit = resizedClear(b.deposit, b.n, n, grow)
+	b.sigmaA = resizedClear(b.sigmaA, b.n, n, grow)
+	b.sigmaS = resizedClear(b.sigmaS, b.n, n, grow)
+	b.cellX = resizedClear(b.cellX, b.n, n, grow)
+	b.cellY = resizedClear(b.cellY, b.n, n, grow)
+	b.xsIndex = resizedClear(b.xsIndex, b.n, n, grow)
+	b.rngCounter = resizedClear(b.rngCounter, b.n, n, grow)
+	b.id = resizedClear(b.id, b.n, n, grow)
+	b.status = resizedClear(b.status, b.n, n, grow)
+	b.n = n
+}
+
+// resizedClear is resized plus the stale-slot re-zeroing growth needs when
+// the backing array is reused.
+func resizedClear[T any](s []T, oldN, n int, grow bool) []T {
+	if grow && n <= cap(s) {
+		clear(s[oldN:n])
+	}
+	return resized(s, n)
+}
+
 // Load copies particle i into the working copy p.
 func (b *Bank) Load(i int, p *Particle) {
 	if b.layout == AoS {

@@ -20,9 +20,18 @@ const SourceWeight = 1.0
 // key is its index, so populations are identical across layouts, schemes
 // and thread counts.
 func Populate(b *Bank, m *mesh.Mesh, src mesh.SourceBox, dt float64, seed uint64) {
+	PopulateFamily(b, m, src, dt, seed, 0)
+}
+
+// PopulateFamily is Populate over a shifted identity range: particle i is
+// born with stream identity idBase+i. Ensemble replica r passes
+// idBase = r*particles, so every replica draws from a structurally disjoint
+// family of Threefry streams under one simulation seed — no replica ever
+// shares a variate with another. idBase 0 reproduces Populate exactly.
+func PopulateFamily(b *Bank, m *mesh.Mesh, src mesh.SourceBox, dt float64, seed, idBase uint64) {
 	var p Particle
 	for i := 0; i < b.Len(); i++ {
-		s := rng.NewStream(seed, uint64(i))
+		s := rng.NewStream(seed, idBase+uint64(i))
 		x, y := rng.PointInBox(&s, src.X0, src.X1, src.Y0, src.Y1)
 		ux, uy := rng.IsotropicDirection(&s)
 		mfp := rng.MeanFreePaths(&s)
@@ -39,7 +48,7 @@ func Populate(b *Bank, m *mesh.Mesh, src mesh.SourceBox, dt float64, seed uint64
 			CachedSigmaS:   -1,
 			CellX:          int32(cx),
 			CellY:          int32(cy),
-			ID:             uint64(i),
+			ID:             idBase + uint64(i),
 			RNGCounter:     s.Counter(),
 			Status:         Alive,
 		}

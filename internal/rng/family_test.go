@@ -1,0 +1,72 @@
+package rng
+
+import "testing"
+
+// TestReplicaFamiliesDisjoint pins the ensemble stream-indexing contract at
+// the rng level: replica r of an ensemble owns identities
+// [r*particles, (r+1)*particles), so the (seed, id) key sets of any two
+// replicas are disjoint by construction — no hashing, no collision
+// probability to argue about.
+func TestReplicaFamiliesDisjoint(t *testing.T) {
+	const particles = 1000
+	const replicas = 8
+	seen := make(map[uint64]int)
+	for r := 0; r < replicas; r++ {
+		base := uint64(r) * particles
+		for i := uint64(0); i < particles; i++ {
+			id := base + i
+			if prev, ok := seen[id]; ok {
+				t.Fatalf("id %d shared by replicas %d and %d", id, prev, r)
+			}
+			seen[id] = r
+		}
+	}
+	if len(seen) != replicas*particles {
+		t.Fatalf("family union holds %d ids, want %d", len(seen), replicas*particles)
+	}
+}
+
+// TestChildIDProperties checks the split-identity derivation: children are
+// deterministic, distinct per (parent, k), always in the top-bit domain
+// (disjoint from every source family), and sensitive to every input.
+func TestChildIDProperties(t *testing.T) {
+	const seed = 9271
+	ids := make(map[uint64]bool)
+	for parent := uint64(0); parent < 50; parent++ {
+		for ctr := uint64(0); ctr < 4; ctr++ {
+			for k := 1; k < 8; k++ {
+				id := ChildID(seed, parent, ctr, k)
+				if id&(1<<63) == 0 {
+					t.Fatalf("child id %d missing domain bit", id)
+				}
+				if ids[id] {
+					t.Fatalf("child id collision at parent %d ctr %d k %d", parent, ctr, k)
+				}
+				ids[id] = true
+				if id != ChildID(seed, parent, ctr, k) {
+					t.Fatal("ChildID is not deterministic")
+				}
+			}
+		}
+	}
+	if ChildID(seed, 1, 1, 1) == ChildID(seed+1, 1, 1, 1) {
+		t.Error("ChildID ignores the seed")
+	}
+}
+
+// TestChildStreamIndependentOfParent: a child's stream must not replay its
+// parent's variates.
+func TestChildStreamIndependentOfParent(t *testing.T) {
+	const seed = 123
+	parent := NewStream(seed, 7)
+	child := NewStream(seed, ChildID(seed, 7, 3, 1))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Next() == child.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("parent and child streams shared %d of 64 draws", same)
+	}
+}

@@ -17,6 +17,24 @@ func NewStream(seed, id uint64) Stream {
 	return Stream{key: [2]uint64{seed, id}}
 }
 
+// splitDomain separates the identities of split-born particles from source
+// identities: a derived child id always has its top bit set, while source
+// families use small consecutive integers, so the two can never collide.
+const splitDomain = 0x57575350_4C495431 // "WWSPLIT1"
+
+// ChildID derives a fresh stream identity for the k-th child of a particle
+// split by population control. The derivation is a Threefry application of
+// the parent's identity and stream position, so it is a pure function of the
+// parent history — independent of scheme, schedule, layout and thread count —
+// and children of distinct (parent, k) pairs get distinct streams with
+// cryptographic-permutation quality. The forced top bit keeps every child
+// identity structurally disjoint from the source stream families
+// (id = replica*particles + slot), which stay below 2^63 in any real run.
+func ChildID(seed, parentID, parentCtr uint64, k int) uint64 {
+	b := Threefry2x64([2]uint64{seed ^ splitDomain, parentID}, [2]uint64{parentCtr, uint64(k)})
+	return b[0] | (1 << 63)
+}
+
 // ResumeStream reconstructs a stream that has already consumed ctr blocks.
 func ResumeStream(seed, id, ctr uint64) Stream {
 	return Stream{key: [2]uint64{seed, id}, ctr: ctr}

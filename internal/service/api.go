@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/particle"
+	"repro/internal/stats"
 	"repro/internal/tally"
 )
 
@@ -37,6 +38,21 @@ type Spec struct {
 	EnergyCutoff float64     `json:"energy_cutoff,omitempty"`
 	KeepCells    bool        `json:"keep_cells,omitempty"`
 	Source       *SourceSpec `json:"source,omitempty"`
+	// Replicas > 1 turns the submission into an ensemble job: the
+	// replicas fan out across the worker pool and the result carries
+	// merged per-cell uncertainty statistics.
+	Replicas int `json:"replicas,omitempty"`
+	// WeightWindow enables weight-based population control (roulette +
+	// splitting) for the run.
+	WeightWindow *WeightWindowSpec `json:"weight_window,omitempty"`
+}
+
+// WeightWindowSpec is the wire form of core.WeightWindow; zero fields take
+// the solver defaults (target 1, ratio 4, split cap 8).
+type WeightWindowSpec struct {
+	Target   float64 `json:"target,omitempty"`
+	Ratio    float64 `json:"ratio,omitempty"`
+	SplitMax int     `json:"split_max,omitempty"`
 }
 
 // SourceSpec overrides the problem's particle birth region.
@@ -127,6 +143,18 @@ func (s Spec) Config() (core.Config, error) {
 		cfg.EnergyCutoff = s.EnergyCutoff
 	}
 	cfg.KeepCells = s.KeepCells
+	if s.Replicas < 0 {
+		return core.Config{}, fmt.Errorf("service: negative replicas %d", s.Replicas)
+	}
+	cfg.Replicas = s.Replicas
+	if s.WeightWindow != nil {
+		cfg.WeightWindow = core.WeightWindow{
+			Enabled:  true,
+			Target:   s.WeightWindow.Target,
+			Ratio:    s.WeightWindow.Ratio,
+			SplitMax: s.WeightWindow.SplitMax,
+		}
+	}
 	if s.Source != nil {
 		cfg.CustomSource = &mesh.SourceBox{
 			X0: s.Source.X0, X1: s.Source.X1,
@@ -147,6 +175,11 @@ type JobView struct {
 	// StepsDone counts the per-timestep results recorded so far
 	// (streamed as SSE "step" events).
 	StepsDone int `json:"steps_done,omitempty"`
+	// Replicas is the ensemble width of an ensemble job; ReplicasDone
+	// counts the replicas merged so far (streamed as SSE "replica"
+	// events). Both absent for plain jobs.
+	Replicas     int `json:"replicas,omitempty"`
+	ReplicasDone int `json:"replicas_done,omitempty"`
 	// ResumedFrom, when present, is the checkpointed step boundary the
 	// solver resumed at instead of re-running from scratch.
 	ResumedFrom *int       `json:"resumed_from,omitempty"`
@@ -159,14 +192,16 @@ type JobView struct {
 func viewOf(j *Job) JobView {
 	st := j.Status()
 	v := JobView{
-		ID:        st.ID,
-		State:     st.State,
-		Cached:    st.Cached,
-		Progress:  st.Progress.Fraction(),
-		Step:      st.Progress.Step,
-		Steps:     st.Progress.Steps,
-		StepsDone: st.StepsDone,
-		Submitted: st.Submitted,
+		ID:           st.ID,
+		State:        st.State,
+		Cached:       st.Cached,
+		Progress:     st.Progress.Fraction(),
+		Step:         st.Progress.Step,
+		Steps:        st.Progress.Steps,
+		StepsDone:    st.StepsDone,
+		Replicas:     st.Replicas,
+		ReplicasDone: st.ReplicasDone,
+		Submitted:    st.Submitted,
 	}
 	if st.ResumedFrom >= 0 {
 		r := st.ResumedFrom
@@ -200,6 +235,49 @@ type ResultView struct {
 	ConservationError float64   `json:"conservation_error"`
 	LoadImbalance     float64   `json:"load_imbalance"`
 	Cells             []float64 `json:"cells,omitempty"`
+	// Ensemble carries the merged uncertainty statistics of an ensemble
+	// job; absent for single runs.
+	Ensemble *EnsembleView `json:"ensemble,omitempty"`
+}
+
+// EnsembleView is the wire representation of merged ensemble statistics.
+type EnsembleView struct {
+	Replicas int `json:"replicas"`
+	// MeanTotal is the ensemble-mean total tally; TotalRelErr its
+	// relative error (1σ of the mean).
+	MeanTotal   float64 `json:"mean_total"`
+	TotalRelErr float64 `json:"total_rel_err"`
+	// AvgRelErr and MaxRelErr summarise the per-cell relative error over
+	// the ScoredCells cells with a nonzero mean.
+	AvgRelErr   float64 `json:"avg_rel_err"`
+	MaxRelErr   float64 `json:"max_rel_err"`
+	ScoredCells int     `json:"scored_cells"`
+	// FOM is the figure of merit 1/(avg_rel_err² · solver seconds).
+	FOM           float64 `json:"fom"`
+	SolverSeconds float64 `json:"solver_seconds"`
+	// ReplicaTotals lists each replica's total tally in replica order.
+	ReplicaTotals []float64 `json:"replica_totals,omitempty"`
+	// RelErr is the per-cell relative error map (keep_cells only, like
+	// the result's cells).
+	RelErr []float64 `json:"rel_err,omitempty"`
+}
+
+func ensembleViewOf(ens *stats.Ensemble, keepCells bool) *EnsembleView {
+	v := &EnsembleView{
+		Replicas:      ens.Replicas,
+		MeanTotal:     ens.MeanTotal,
+		TotalRelErr:   ens.TotalRelErr,
+		AvgRelErr:     ens.AvgRelErr,
+		MaxRelErr:     ens.MaxRelErr,
+		ScoredCells:   ens.ScoredCells,
+		FOM:           ens.FOM,
+		SolverSeconds: ens.SolverWall.Seconds(),
+		ReplicaTotals: ens.Totals,
+	}
+	if keepCells {
+		v.RelErr = ens.RelErr
+	}
+	return v
 }
 
 func resultViewOf(res *core.Result) ResultView {
@@ -225,7 +303,8 @@ func resultViewOf(res *core.Result) ResultView {
 //	GET    /v1/jobs/{id}       job status
 //	GET    /v1/jobs/{id}/result  result; blocks when ?wait=true
 //	GET    /v1/jobs/{id}/steps   per-timestep results recorded so far
-//	GET    /v1/jobs/{id}/stream  server-sent progress + per-step events
+//	GET    /v1/jobs/{id}/replicas  per-replica results of an ensemble job
+//	GET    /v1/jobs/{id}/stream  server-sent progress + per-step + per-replica events
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/stats           engine counters
 //	GET    /healthz            liveness
@@ -240,6 +319,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/steps", s.handleSteps)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/replicas", s.handleReplicas)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -372,6 +452,12 @@ func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Replicas())
+	}
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.engine.Jobs()
 	views := make([]JobView, len(jobs))
@@ -414,7 +500,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusConflict, err)
 	default:
-		writeJSON(w, http.StatusOK, resultViewOf(res))
+		v := resultViewOf(res)
+		if ens := j.Ensemble(); ens != nil {
+			v.Ensemble = ensembleViewOf(ens, j.Config().KeepCells)
+		}
+		writeJSON(w, http.StatusOK, v)
 	}
 }
 
@@ -469,18 +559,33 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		sent += len(fresh)
 		fl.Flush()
 	}
+	sentReps := 0
+	emitReplicas := func() {
+		fresh := j.ReplicasFrom(sentReps)
+		if len(fresh) == 0 {
+			return
+		}
+		for _, rv := range fresh {
+			data, _ := json.Marshal(rv)
+			fmt.Fprintf(w, "event: replica\ndata: %s\n\n", data)
+		}
+		sentReps += len(fresh)
+		fl.Flush()
+	}
 	tick := time.NewTicker(100 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		select {
 		case <-j.Done():
 			emitSteps()
+			emitReplicas()
 			emit("done")
 			return
 		case <-r.Context().Done():
 			return
 		case <-tick.C:
 			emitSteps()
+			emitReplicas()
 			emit("progress")
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // Cache is a content-addressed LRU result cache. Keys are canonical
@@ -27,6 +28,9 @@ type Cache struct {
 type cacheEntry struct {
 	key string
 	res *core.Result
+	// ens carries the merged ensemble statistics of an ensemble job;
+	// nil for single-run results.
+	ens *stats.Ensemble
 }
 
 // NewCache returns a cache holding at most capacity results. Capacity 0
@@ -43,32 +47,47 @@ func NewCache(capacity int) *Cache {
 // used. The caller must treat the result as immutable — it is shared by
 // every job served from the same key.
 func (c *Cache) Get(key string) (*core.Result, bool) {
+	res, _, ok := c.GetEntry(key)
+	return res, ok
+}
+
+// GetEntry is Get plus the ensemble statistics stored alongside an ensemble
+// job's merged result (nil for single-run entries). Both values are shared
+// and must be treated as immutable.
+func (c *Cache) GetEntry(key string) (*core.Result, *stats.Ensemble, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, nil, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	e := el.Value.(*cacheEntry)
+	return e.res, e.ens, true
 }
 
 // Put stores the result under the key, evicting the least recently used
 // entry at capacity.
 func (c *Cache) Put(key string, res *core.Result) {
+	c.PutEntry(key, res, nil)
+}
+
+// PutEntry stores a result together with its ensemble statistics.
+func (c *Cache) PutEntry(key string, res *core.Result, ens *stats.Ensemble) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		e.res, e.ens = res, ens
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res, ens: ens})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/tally"
 )
 
 // State is a job's lifecycle position.
@@ -75,8 +77,13 @@ type Job struct {
 	progress    core.Progress
 	steps       []StepView
 	resumedFrom int // step the solver resumed from; -1 for a fresh run
-	result      *core.Result
-	err         error
+	// replicas and ensemble are the per-replica history and merged
+	// statistics of an ensemble job (Config.Replicas > 1); empty/nil
+	// otherwise.
+	replicas []ReplicaView
+	ensemble *stats.Ensemble
+	result   *core.Result
+	err      error
 	submitted   time.Time
 	started     time.Time
 	finished    time.Time
@@ -89,6 +96,10 @@ type Status struct {
 	Cached    bool
 	Progress  core.Progress
 	StepsDone int
+	// Replicas is the ensemble width of an ensemble job (0 for plain
+	// jobs); ReplicasDone counts the replicas merged so far.
+	Replicas     int
+	ReplicasDone int
 	// ResumedFrom is the checkpointed step the run resumed at, -1 when it
 	// started fresh.
 	ResumedFrom int
@@ -111,17 +122,23 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	ens := 0
+	if j.cfg.Replicas > 1 {
+		ens = j.cfg.Replicas
+	}
 	return Status{
-		ID:          j.id,
-		State:       j.state,
-		Cached:      j.cached,
-		Progress:    j.progress,
-		StepsDone:   len(j.steps),
-		ResumedFrom: j.resumedFrom,
-		Err:         j.err,
-		Submitted:   j.submitted,
-		Started:     j.started,
-		Finished:    j.finished,
+		ID:           j.id,
+		State:        j.state,
+		Cached:       j.cached,
+		Progress:     j.progress,
+		StepsDone:    len(j.steps),
+		Replicas:     ens,
+		ReplicasDone: len(j.replicas),
+		ResumedFrom:  j.resumedFrom,
+		Err:          j.err,
+		Submitted:    j.submitted,
+		Started:      j.started,
+		Finished:     j.finished,
 	}
 }
 
@@ -389,14 +406,34 @@ func (e *Engine) submit(cfg core.Config, pinned *Queue) (*Job, error) {
 	}
 	e.submitted.Add(1)
 
-	// Cache hit: the job is born terminal, no worker involved.
+	// Cache hit: the job is born terminal, no worker involved. Ensemble
+	// entries carry their merged statistics alongside the result.
 	if key != "" {
-		if res, ok := e.cache.Get(key); ok {
+		if res, ens, ok := e.cache.GetEntry(key); ok {
+			j.mu.Lock()
+			j.ensemble = ens
+			j.mu.Unlock()
 			j.finish(StateDone, res, nil, true)
 			e.completed.Add(1)
 			e.record(j)
 			return j, nil
 		}
+	}
+
+	// Ensemble jobs are coordinated by a dedicated goroutine that fans
+	// the replicas out as child jobs across the shard queues; the parent
+	// itself never occupies a queue slot or a worker.
+	if cfg.Replicas > 1 {
+		if cfg.Tally == tally.ModeNull {
+			// Mirrors stats.RunEnsemble: a null tally has no cells to
+			// fold, so the ensemble would complete with silently
+			// meaningless all-zero statistics.
+			jcancel()
+			return nil, errors.New("service: ensemble statistics need a live tally, not null")
+		}
+		e.record(j)
+		go e.runEnsemble(j)
+		return j, nil
 	}
 
 	q := pinned

@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tally"
+)
+
+// Options configures an ensemble run.
+type Options struct {
+	// Workers is the number of concurrent replica runners. Each worker
+	// owns one core.Simulation for its whole assignment and moves between
+	// replicas with Reset, so mesh, cross-section tables and the particle
+	// bank are allocated once per worker, not once per replica. 0 means
+	// min(replicas, GOMAXPROCS).
+	Workers int
+	// OnReplica, when non-nil, observes each replica as it completes. It
+	// is called from worker goroutines (serialised by the driver), in
+	// completion order, which is not necessarily replica order.
+	OnReplica func(ReplicaView)
+}
+
+// ReplicaView is the per-replica completion report OnReplica receives.
+type ReplicaView struct {
+	// Replica is the 0-based replica index; Replicas the ensemble width.
+	Replica  int
+	Replicas int
+	// TallyTotal is the replica's deposited weight-eV.
+	TallyTotal float64
+	// Wall is the replica's solver wallclock.
+	Wall time.Duration
+}
+
+// Ensemble is the folded result of R independent replicas.
+type Ensemble struct {
+	// Replicas is the ensemble width R; Cells the tally cell count.
+	Replicas int
+	Cells    int
+
+	// Mean, Variance and RelErr are the per-cell ensemble statistics:
+	// mean deposited energy, Bessel-corrected sample variance across
+	// replicas, and relative error of the mean (√(var/R)/|mean|).
+	// Variance and RelErr are zero-valued when R < 2.
+	Mean     []float64
+	Variance []float64
+	RelErr   []float64
+
+	// Totals holds each replica's total tally in replica order —
+	// deterministic regardless of worker count or completion order.
+	Totals []float64
+	// MeanTotal and TotalRelErr summarise Totals.
+	MeanTotal   float64
+	TotalRelErr float64
+
+	// AvgRelErr and MaxRelErr summarise the per-cell relative error over
+	// cells with a nonzero mean (the paper-standard scoring region).
+	AvgRelErr float64
+	MaxRelErr float64
+	// ScoredCells counts the cells with a nonzero ensemble mean.
+	ScoredCells int
+
+	// FOM is the figure of merit 1/(AvgRelErr² · solver seconds): halving
+	// the error at constant cost quadruples it, and it is invariant under
+	// R for a well-behaved estimator — which is what makes it the
+	// cross-technique comparison number.
+	FOM float64
+
+	// SolverWall sums the replicas' solver wallclock; Wall is the
+	// end-to-end ensemble time (SolverWall/Wall ≈ worker parallelism).
+	SolverWall time.Duration
+	Wall       time.Duration
+
+	// Counters sums the instrumentation over every replica.
+	Counters core.Counters
+}
+
+// RunEnsemble executes cfg.Replicas independent replicas of cfg and folds
+// their tallies into ensemble statistics. Replica r runs the identical
+// configuration with Config.Replica = r, which shifts its particles onto a
+// disjoint Threefry stream family — replicas share no variates, so their
+// tallies are independent samples of the same physical estimate. With
+// Replicas ≤ 1 the ensemble is the run itself: Mean is bit-identical to the
+// per-cell tally Run produces.
+//
+// Per-cell statistics are folded through per-worker Welford accumulators
+// merged in worker order, so the result is deterministic for a fixed
+// (config, worker count); Totals is deterministic regardless.
+func RunEnsemble(ctx context.Context, cfg core.Config, opts Options) (*Ensemble, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base := cfg
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if base.Tally == tally.ModeNull {
+		return nil, errors.New("stats: ensemble statistics need a live tally, not null")
+	}
+	if base.Replica != 0 {
+		return nil, fmt.Errorf("stats: ensemble base config carries replica index %d, want 0", base.Replica)
+	}
+	reps := base.Replicas
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	// Split the machine across concurrent replicas when the caller left
+	// the solver thread count open.
+	if cfg.Threads == 0 && workers > 1 {
+		base.Threads = max(1, runtime.GOMAXPROCS(0)/workers)
+	}
+
+	cells := base.NX * base.NY
+	start := time.Now()
+	ens := &Ensemble{
+		Replicas: reps,
+		Cells:    cells,
+		Totals:   make([]float64, reps),
+	}
+
+	accs := make([]*Accumulator, workers)
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex // guards the shared fold-in state below
+		firstErr   error
+		solverWall time.Duration
+		counters   core.Counters
+	)
+	ectx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for w := 0; w < workers; w++ {
+		acc := NewAccumulator(cells)
+		accs[w] = acc
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var sim *core.Simulation
+			for rep := w; rep < reps; rep += workers {
+				if ectx.Err() != nil {
+					return
+				}
+				cfgR := base
+				cfgR.Replicas = 1 // a replica is a plain single run
+				cfgR.Replica = rep
+				cfgR.KeepBank = false
+				cfgR.KeepCells = false
+				var err error
+				if sim == nil {
+					sim, err = core.NewSimulation(cfgR)
+				} else {
+					err = sim.Reset(cfgR)
+				}
+				var res *core.Result
+				if err == nil {
+					res, err = sim.Drive(ectx, nil, nil)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("stats: replica %d: %w", rep, err)
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				// Fold the live tally in place: replicas add no
+				// per-replica tally copies.
+				acc.Add(sim.TallyCells())
+				mu.Lock()
+				ens.Totals[rep] = res.TallyTotal
+				solverWall += res.Wall
+				counters.Add(&res.Counter)
+				if opts.OnReplica != nil {
+					opts.OnReplica(ReplicaView{
+						Replica:    rep,
+						Replicas:   reps,
+						TallyTotal: res.TallyTotal,
+						Wall:       res.Wall,
+					})
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("stats: ensemble canceled: %w", err)
+	}
+
+	merged := accs[0]
+	for _, acc := range accs[1:] {
+		merged.Merge(acc)
+	}
+	assemble(ens, merged, solverWall, time.Since(start), counters)
+	return ens, nil
+}
+
+// Assemble folds accumulated per-cell moments and per-replica totals into an
+// Ensemble — the shared back half of RunEnsemble, exposed so the service's
+// ensemble jobs (which fan replicas out across the engine's own worker pool
+// instead of this driver's) produce identical statistics.
+func Assemble(acc *Accumulator, totals []float64, solverWall, wall time.Duration, counters core.Counters) *Ensemble {
+	ens := &Ensemble{
+		Replicas: acc.Count(),
+		Cells:    len(acc.Mean()),
+		Totals:   append([]float64(nil), totals...),
+	}
+	assemble(ens, acc, solverWall, wall, counters)
+	return ens
+}
+
+func assemble(ens *Ensemble, acc *Accumulator, solverWall, wall time.Duration, counters core.Counters) {
+	cells := len(acc.Mean())
+	ens.Mean = append([]float64(nil), acc.Mean()...)
+	if v := acc.Variance(); v != nil {
+		ens.Variance = v
+	} else {
+		ens.Variance = make([]float64, cells)
+	}
+	ens.RelErr = acc.RelErr()
+	ens.SolverWall = solverWall
+	ens.Wall = wall
+	ens.Counters = counters
+	ens.MeanTotal, ens.TotalRelErr = scalarStats(ens.Totals)
+
+	for i, m := range ens.Mean {
+		if m == 0 {
+			continue
+		}
+		ens.ScoredCells++
+		ens.AvgRelErr += ens.RelErr[i]
+		if ens.RelErr[i] > ens.MaxRelErr {
+			ens.MaxRelErr = ens.RelErr[i]
+		}
+	}
+	if ens.ScoredCells > 0 {
+		ens.AvgRelErr /= float64(ens.ScoredCells)
+	}
+	if ens.AvgRelErr > 0 && ens.SolverWall > 0 {
+		ens.FOM = 1 / (ens.AvgRelErr * ens.AvgRelErr * ens.SolverWall.Seconds())
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/particle"
 	"repro/internal/service"
+	"repro/internal/stats"
 	"repro/internal/tally"
 )
 
@@ -80,6 +81,23 @@ type (
 	// JobStepView is one completed timestep of a service job, as
 	// streamed over the SSE "step" events and the /steps endpoint.
 	JobStepView = service.StepView
+	// JobReplicaView is one completed replica of an ensemble job, as
+	// streamed over the SSE "replica" events and the /replicas endpoint.
+	JobReplicaView = service.ReplicaView
+
+	// WeightWindow configures weight-based population control: per-cell
+	// Russian roulette and splitting at timestep boundaries (set it on
+	// Config.WeightWindow).
+	WeightWindow = core.WeightWindow
+	// Ensemble is the folded result of a multi-replica run: per-cell
+	// mean, sample variance, relative error and figure of merit.
+	Ensemble = stats.Ensemble
+	// EnsembleOptions configures RunEnsemble (worker count, per-replica
+	// callback).
+	EnsembleOptions = stats.Options
+	// EnsembleReplicaView is the per-replica completion report delivered
+	// to EnsembleOptions.OnReplica.
+	EnsembleReplicaView = stats.ReplicaView
 
 	// Service is the simulation service engine: bounded job queue,
 	// sharded worker pool, and content-addressed result cache.
@@ -193,6 +211,15 @@ func NewSimulation(cfg Config) (*Simulation, error) { return core.NewSimulation(
 // run to completion it reproduces an uninterrupted run bit for bit.
 func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
 	return core.RestoreSimulation(cfg, data)
+}
+
+// RunEnsemble executes Config.Replicas independent replicas of the
+// configuration — each on a disjoint counter-based RNG stream family — and
+// folds their tallies into per-cell mean, sample variance, relative error
+// and figure of merit. Each ensemble worker reuses one Simulation across
+// its replicas, so setup is amortised exactly as in a sweep.
+func RunEnsemble(ctx context.Context, cfg Config, opts EnsembleOptions) (*Ensemble, error) {
+	return stats.RunEnsemble(ctx, cfg, opts)
 }
 
 // NewService starts a simulation service engine: jobs submitted to it are
