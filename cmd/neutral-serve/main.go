@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/scene"
 	"repro/internal/service"
 )
 
@@ -48,9 +49,20 @@ func run() error {
 		threads    = flag.Int("threads-per-job", 0, "solver threads per job (0 = GOMAXPROCS/shards)")
 		ckptDir    = flag.String("checkpoint-dir", "", "job checkpoint directory (empty disables); resubmitting a config found here resumes it")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint every n completed steps (0 = 1)")
+		sceneFile  = flag.String("scene", "", "JSON scene file served as the default problem for submissions that name neither a problem nor an inline scene")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown window")
 	)
 	flag.Parse()
+
+	// Fail fast on an unloadable default scene rather than rejecting every
+	// problem-less submission at runtime.
+	var defaultScene *scene.Scene
+	if *sceneFile != "" {
+		var err error
+		if defaultScene, err = scene.LoadFile(*sceneFile); err != nil {
+			return err
+		}
+	}
 
 	// Fail fast on an unusable checkpoint directory: the engine would
 	// silently run without durability, which is worse than not starting.
@@ -73,6 +85,7 @@ func run() error {
 		ThreadsPerJob:   *threads,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		DefaultScene:    defaultScene,
 	})
 	srv := &http.Server{
 		Addr:    *addr,

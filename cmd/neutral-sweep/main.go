@@ -12,6 +12,7 @@
 //	neutral-sweep -sweep schedule -problem csp
 //	neutral-sweep -sweep layout
 //	neutral-sweep -sweep tally -problem scatter
+//	neutral-sweep -sweep threads -scene examples/scenes/duct.json
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"runtime"
 	"strconv"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/particle"
@@ -36,26 +38,21 @@ func main() {
 }
 
 func run() error {
+	runFlags := cliutil.Register(flag.CommandLine)
 	var (
-		sweep   = flag.String("sweep", "threads", "sweep kind: threads, schedule, layout or tally")
-		problem = flag.String("problem", "csp", "test problem")
-		nx      = flag.Int("nx", 512, "mesh resolution")
-		parts   = flag.Int("particles", 2000, "particle count")
-		maxT    = flag.Int("max", 0, "max thread count for the threads sweep (0 = GOMAXPROCS)")
-		scheme  = flag.String("scheme", "over-particles", "parallelisation scheme")
+		sweep = flag.String("sweep", "threads", "sweep kind: threads, schedule, layout or tally")
+		nx    = flag.Int("nx", 512, "mesh resolution")
+		parts = flag.Int("particles", 2000, "particle count")
+		maxT  = flag.Int("max", 0, "max thread count for the threads sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	p, err := mesh.ParseProblem(*problem)
+	base, err := runFlags.Config(false)
 	if err != nil {
 		return err
 	}
-	base := core.Default(p)
 	base.NX, base.NY = *nx, *nx
 	base.Particles = *parts
-	if base.Scheme, err = core.ParseScheme(*scheme); err != nil {
-		return err
-	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -126,16 +123,26 @@ func run() error {
 		if err := w.Write([]string{"problem", "layout", "seconds"}); err != nil {
 			return err
 		}
-		for _, prob := range []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP} {
-			for _, l := range []particle.Layout{particle.AoS, particle.SoA} {
+		// With a scene file the sweep compares layouts on that scene; the
+		// default sweeps all three paper presets.
+		points := []core.Config{base}
+		if base.Scene == nil {
+			points = nil
+			for _, prob := range []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP} {
 				cfg := base
 				cfg.Problem = prob
+				points = append(points, cfg)
+			}
+		}
+		for _, point := range points {
+			for _, l := range []particle.Layout{particle.AoS, particle.SoA} {
+				cfg := point
 				cfg.Layout = l
 				res, err := sweeper.run(cfg)
 				if err != nil {
 					return err
 				}
-				if err := w.Write([]string{prob.String(), l.String(),
+				if err := w.Write([]string{cliutil.Describe(cfg), l.String(),
 					fmt.Sprintf("%.6f", res.Wall.Seconds())}); err != nil {
 					return err
 				}

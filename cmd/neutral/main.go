@@ -6,6 +6,7 @@
 //	neutral -problem csp -scheme over-particles -threads 8
 //	neutral -problem scatter -particles 100000 -nx 1024 -tally private
 //	neutral -problem stream -paper        # full paper-scale run
+//	neutral -scene examples/scenes/duct.json   # declarative scene file
 //
 // Long runs can checkpoint at every timestep boundary and survive a kill:
 //
@@ -33,11 +34,10 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/mesh"
-	"repro/internal/particle"
 	"repro/internal/stats"
-	"repro/internal/tally"
 )
 
 func main() {
@@ -48,18 +48,13 @@ func main() {
 }
 
 func run() error {
+	runFlags := cliutil.Register(flag.CommandLine)
 	var (
-		problem  = flag.String("problem", "csp", "test problem: stream, scatter or csp")
-		scheme   = flag.String("scheme", "over-particles", "parallelisation scheme: over-particles or over-events")
 		threads  = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		nx       = flag.Int("nx", 0, "mesh resolution override (0 = problem default)")
 		parts    = flag.Int("particles", 0, "particle count override")
 		steps    = flag.Int("steps", 1, "timesteps")
 		seed     = flag.Uint64("seed", 9271, "random seed")
-		schedule = flag.String("schedule", "static", "schedule: static, static-chunk, dynamic, guided")
-		chunk    = flag.Int("chunk", 0, "schedule chunk size")
-		layout   = flag.String("layout", "aos", "particle layout: aos or soa")
-		tmode    = flag.String("tally", "atomic", "tally: atomic, private, serial, null or buffered")
 		merge    = flag.Bool("merge-per-step", false, "merge privatised tally every timestep")
 		paper    = flag.Bool("paper", false, "use full paper scale (4000^2 mesh, 1e6/1e7 particles)")
 		cells    = flag.Bool("print-tally", false, "print a coarse view of the energy deposition")
@@ -70,26 +65,8 @@ func run() error {
 	)
 	flag.Parse()
 
-	p, err := mesh.ParseProblem(*problem)
+	cfg, err := runFlags.Config(*paper)
 	if err != nil {
-		return err
-	}
-	cfg := core.Default(p)
-	if *paper {
-		cfg = core.Paper(p)
-	}
-	if cfg.Scheme, err = core.ParseScheme(*scheme); err != nil {
-		return err
-	}
-	kind, err := core.ParseSchedule(*schedule)
-	if err != nil {
-		return err
-	}
-	cfg.Schedule = core.Schedule{Kind: kind, Chunk: *chunk}
-	if cfg.Layout, err = particle.ParseLayout(*layout); err != nil {
-		return err
-	}
-	if cfg.Tally, err = tally.ParseMode(*tmode); err != nil {
 		return err
 	}
 	cfg.MergePerStep = *merge
@@ -187,7 +164,7 @@ func runEnsemble(cfg core.Config, printCells bool) error {
 	}
 	c := ens.Counters
 	fmt.Printf("problem      %s  (%dx%d mesh, %d particles, %d step(s), %d replicas)\n",
-		cfg.Problem, cfg.NX, cfg.NY, cfg.Particles, cfg.Steps, ens.Replicas)
+		cliutil.Describe(cfg), cfg.NX, cfg.NY, cfg.Particles, cfg.Steps, ens.Replicas)
 	fmt.Printf("scheme       %s  layout %s  tally %s\n", cfg.Scheme, cfg.Layout, cfg.Tally)
 	fmt.Printf("wallclock    %v end to end, %v solver across replicas\n", ens.Wall, ens.SolverWall)
 	fmt.Printf("events       %d total across replicas (facet %d, collision %d, census %d)\n",
@@ -211,7 +188,7 @@ func printResult(res *core.Result) {
 	cfg := res.Config
 	c := res.Counter
 	fmt.Printf("problem      %s  (%dx%d mesh, %d particles, %d step(s))\n",
-		cfg.Problem, cfg.NX, cfg.NY, cfg.Particles, cfg.Steps)
+		cliutil.Describe(cfg), cfg.NX, cfg.NY, cfg.Particles, cfg.Steps)
 	fmt.Printf("scheme       %s  schedule %s  layout %s  tally %s  threads %d\n",
 		cfg.Scheme, cfg.Schedule, cfg.Layout, cfg.Tally, cfg.Threads)
 	fmt.Printf("wallclock    %v\n", res.Wall)
@@ -239,10 +216,11 @@ func printResult(res *core.Result) {
 			float64(res.TallyDeposits)/float64(max(res.TallyBaseWrites, 1)))
 	}
 	printWeightWindow(c)
-	fmt.Printf("population   %d dead, weight %.1f -> %.1f\n",
-		c.Deaths, res.Conservation.BirthWeight, res.Conservation.FinalWeight)
-	fmt.Printf("energy       deposited %.4g weight-eV, in flight %.4g, conservation error %.2e\n",
-		res.Conservation.Deposited, res.Conservation.InFlight, res.Conservation.RelativeError)
+	printLeakage(res)
+	fmt.Printf("population   %d dead, %d escaped, weight %.1f -> %.1f\n",
+		c.Deaths, c.Escapes, res.Conservation.BirthWeight, res.Conservation.FinalWeight)
+	fmt.Printf("energy       deposited %.4g weight-eV, leaked %.4g, in flight %.4g, conservation error %.2e\n",
+		res.Conservation.Deposited, res.Conservation.Leaked, res.Conservation.InFlight, res.Conservation.RelativeError)
 	fmt.Printf("balance      load imbalance %.3f (max worker / mean)\n", res.LoadImbalance())
 }
 
@@ -253,6 +231,28 @@ func printWeightWindow(c core.Counters) {
 		fmt.Printf("weight window  %d roulette games (%d killed), %d splits (+%d children)\n",
 			c.WWRoulette, c.WWKills, c.WWSplits, c.WWChildren)
 	}
+}
+
+// printLeakage summarises per-edge vacuum losses when any history escaped;
+// silent on reflective scenes.
+func printLeakage(res *core.Result) {
+	if res.Counter.Escapes == 0 {
+		return
+	}
+	l := &res.Leakage
+	fmt.Printf("leakage      %.4g weight-eV out (", l.TotalEnergy())
+	first := true
+	for e := mesh.Edge(0); e < mesh.NumEdges; e++ {
+		if l.Energy[e] == 0 && l.Weight[e] == 0 {
+			continue
+		}
+		if !first {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %.4g", e, l.Energy[e])
+		first = false
+	}
+	fmt.Println(")")
 }
 
 // printTally renders the deposition mesh as a coarse ASCII heat map — the

@@ -14,6 +14,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/mesh"
 	"repro/internal/particle"
+	"repro/internal/scene"
 	"repro/internal/tally"
 	"repro/internal/xs"
 )
@@ -58,7 +59,16 @@ func ParseScheme(s string) (Scheme, error) {
 
 // Config fully describes a neutral run.
 type Config struct {
-	// Problem selects the paper test case: stream, scatter or csp.
+	// Scene is the declarative problem description the run simulates:
+	// materials, density regions, sources and boundary conditions. nil
+	// selects the built-in preset of Problem, so configs that predate the
+	// scene layer keep their exact meaning. Validate resolves and
+	// validates it; a validated scene is immutable and may be shared
+	// across configs, replicas and goroutines.
+	Scene *scene.Scene
+	// Problem selects the paper test case preset (stream, scatter or csp)
+	// when Scene is nil; it is ignored — including by the fingerprint —
+	// when a Scene is set.
 	Problem mesh.Problem
 	// NX, NY are the mesh resolution. The paper uses 4000x4000.
 	NX, NY int
@@ -116,11 +126,13 @@ type Config struct {
 	KeepCells bool
 
 	// CustomDensity, when non-nil, adjusts the density mesh after the
-	// standard problem setup — how downstream users build multi-material
-	// scenes (shield stacks, phantoms) on top of the three paper
-	// problems.
+	// scene is painted — an escape hatch for density fields (gradients,
+	// phantoms) the axis-aligned region language cannot express. Prefer
+	// Scene: a hooked config cannot be fingerprinted or cached.
 	CustomDensity func(m *mesh.Mesh)
-	// CustomSource overrides the problem's source region when non-nil.
+	// CustomSource, when non-nil, replaces the scene's source list with a
+	// single unit-weight box — the pre-scene override the service's
+	// "source" spec field still speaks.
 	CustomSource *mesh.SourceBox
 }
 
@@ -163,6 +175,27 @@ func (p Progress) Fraction() float64 {
 // kernels.
 type ProgressFunc func(Progress)
 
+// resolvedScene returns the scene the config runs: Scene when set, the
+// built-in preset of Problem otherwise.
+func (c Config) resolvedScene() (*scene.Scene, error) {
+	if c.Scene != nil {
+		return c.Scene, nil
+	}
+	return scene.Preset(c.Problem)
+}
+
+// sceneKey is the scene's contribution to the fingerprint and physics hash:
+// the content hash of the resolved scene, so an inline scene equivalent to a
+// preset (or to another submission's inline scene) keys identically, and the
+// Problem enum no longer leaks into any identity.
+func (c Config) sceneKey() string {
+	sc, err := c.resolvedScene()
+	if err != nil {
+		return fmt.Sprintf("bad-problem-%d", int(c.Problem))
+	}
+	return sc.Hash()
+}
+
 // Fingerprint returns a canonical content hash of the configuration: every
 // field that determines the physics, scheduling and instrumentation of a
 // run. Two configs with equal fingerprints and equal seeds replay the same
@@ -172,8 +205,8 @@ type ProgressFunc func(Progress)
 // cache.
 func (c Config) Fingerprint() (string, bool) {
 	h := sha256.New()
-	fmt.Fprintf(h, "problem=%d nx=%d ny=%d particles=%d dt=%x steps=%d seed=%d ",
-		int(c.Problem), c.NX, c.NY, c.Particles,
+	fmt.Fprintf(h, "scene=%s nx=%d ny=%d particles=%d dt=%x steps=%d seed=%d ",
+		c.sceneKey(), c.NX, c.NY, c.Particles,
 		math.Float64bits(c.Timestep), c.Steps, c.Seed)
 	fmt.Fprintf(h, "threads=%d scheme=%d sched=%d chunk=%d layout=%d tally=%d merge=%t ",
 		c.Threads, int(c.Scheme), int(c.Schedule.Kind), c.Schedule.Chunk,
@@ -239,8 +272,19 @@ func Paper(p mesh.Problem) Config {
 	return cfg
 }
 
-// Validate checks the configuration and applies defaults for zero values.
+// Validate checks the configuration and applies defaults for zero values,
+// resolving a nil Scene to the Problem preset.
 func (c *Config) Validate() error {
+	if c.Scene == nil {
+		preset, err := scene.Preset(c.Problem)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		c.Scene = preset
+	}
+	if err := c.Scene.Validate(); err != nil {
+		return err
+	}
 	if c.NX < 1 || c.NY < 1 {
 		return fmt.Errorf("core: mesh %dx%d must be positive", c.NX, c.NY)
 	}

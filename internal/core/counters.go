@@ -1,18 +1,26 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/mesh"
+)
 
 // Counters instruments the solver. Every count is maintained per worker
 // without synchronisation and aggregated after the run; together they form
 // the workload description consumed by the architecture performance model
 // (internal/archmodel), replacing the paper's VTune/nvprof measurements.
 type Counters struct {
-	// Event population (paper §IV-A).
+	// Event population (paper §IV-A). Escapes counts histories that left
+	// the domain through a vacuum boundary — structurally a facet event
+	// whose edge's boundary condition ends the history instead of
+	// reflecting it (zero on the paper's all-reflective problems).
 	FacetEvents     uint64
 	CollisionEvents uint64
 	CensusEvents    uint64
 	Reflections     uint64
 	Deaths          uint64
+	Escapes         uint64
 
 	// Segments is the number of distance-to-event calculations: one per
 	// particle step in Over Particles, one per live particle per round in
@@ -61,6 +69,7 @@ func (c *Counters) Add(other *Counters) {
 	c.CensusEvents += other.CensusEvents
 	c.Reflections += other.Reflections
 	c.Deaths += other.Deaths
+	c.Escapes += other.Escapes
 	c.Segments += other.Segments
 	c.XSLookups += other.XSLookups
 	c.XSSearchSteps += other.XSSearchSteps
@@ -125,14 +134,42 @@ func (p PhaseTimings) Total() time.Duration {
 	return p.EventKernel + p.CollisionKernel + p.FacetKernel + p.TallyKernel + p.Fused + p.Merge + p.Control
 }
 
-// Conservation is the per-run audit: with reflective boundaries and exact
-// loss bookkeeping, birth weight-energy must equal deposits plus what is
-// still carried by census particles.
+// Leakage reports the vacuum-boundary losses of a run, per domain edge
+// (indexed by mesh.Edge): the statistical weight and the weight-energy
+// (weight-eV) carried out by escaping histories. All-zero on reflective
+// scenes.
+type Leakage struct {
+	Weight [mesh.NumEdges]float64
+	Energy [mesh.NumEdges]float64
+}
+
+// TotalWeight sums the leaked weight over the four edges.
+func (l *Leakage) TotalWeight() float64 {
+	return l.Weight[0] + l.Weight[1] + l.Weight[2] + l.Weight[3]
+}
+
+// TotalEnergy sums the leaked weight-energy over the four edges.
+func (l *Leakage) TotalEnergy() float64 {
+	return l.Energy[0] + l.Energy[1] + l.Energy[2] + l.Energy[3]
+}
+
+// add accumulates other into l.
+func (l *Leakage) add(other *Leakage) {
+	for e := 0; e < mesh.NumEdges; e++ {
+		l.Weight[e] += other.Weight[e]
+		l.Energy[e] += other.Energy[e]
+	}
+}
+
+// Conservation is the per-run audit: with exact loss bookkeeping, birth
+// weight-energy must equal deposits plus vacuum leakage plus what is still
+// carried by census particles.
 type Conservation struct {
 	BirthWeight   float64
-	FinalWeight   float64 // census + alive weight (dead carry none)
+	FinalWeight   float64 // census + alive weight (dead and escaped carry none)
 	BirthEnergy   float64 // weight-eV
 	Deposited     float64 // weight-eV flushed into tallies
 	InFlight      float64 // weight-eV still on census particles
-	RelativeError float64 // |birth - (deposited + inflight)| / birth
+	Leaked        float64 // weight-eV escaped through vacuum boundaries
+	RelativeError float64 // |birth - (deposited + inflight + leaked)| / birth
 }

@@ -133,10 +133,14 @@ func RunDomains(cfg Config, domains int) (*Result, *DomainStats, error) {
 		}
 		wg.Wait()
 
-		// Census exchange: re-own particles by their final strip.
+		// Census exchange: re-own particles by their final strip. Only
+		// histories still in the simulation can migrate: dead particles
+		// have no next step, and particles that escaped through a vacuum
+		// boundary have left the domain entirely — neither is exchange
+		// volume an MPI rank would ship.
 		migrated := 0
 		for i := 0; i < cfg.Particles; i++ {
-			if r.bank.StatusOf(i) == particle.Dead {
+			if st := r.bank.StatusOf(i); st == particle.Dead || st == particle.Escaped {
 				continue
 			}
 			r.bank.Load(i, &p)

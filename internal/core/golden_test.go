@@ -127,6 +127,84 @@ func TestGoldenPhysics(t *testing.T) {
 	}
 }
 
+// TestGoldenVacuumLeak pins the vacuum-leakage physics the scene subsystem
+// added, across scheme × layout: the csp geometry with the +x/+y edges open
+// (leakScene). The full counter vector — escapes included — is pinned
+// exactly, and the tally, surviving weight, bank checksum and per-edge
+// leakage tallies to the golden float tolerance. The closed edges must leak
+// exactly nothing.
+func TestGoldenVacuumLeak(t *testing.T) {
+	want := struct {
+		counters    Counters
+		tallyTotal  float64
+		finalWeight float64
+		bankSum     float64
+		leakW       [mesh.NumEdges]float64
+		leakE       [mesh.NumEdges]float64
+	}{
+		counters: Counters{FacetEvents: 17960, CollisionEvents: 877, CensusEvents: 81,
+			Reflections: 244, Deaths: 31, Escapes: 139, Segments: 18918,
+			XSLookups: 1046, XSSearchSteps: 38876, DensityReads: 17828,
+			TallyFlushes: 18072, RNGDraws: 2631},
+		tallyTotal:  797738562.96479356,
+		finalWeight: 6.3492948130049598,
+		bankSum:     11357.478580335048,
+		leakW:       [mesh.NumEdges]float64{0, 68.314307382383049, 0, 61.005424510947726},
+		leakE:       [mesh.NumEdges]float64{0, 640419551.10170341, 0, 555400488.23899269},
+	}
+	for _, scheme := range []Scheme{OverParticles, OverEvents} {
+		for _, layout := range []particle.Layout{particle.AoS, particle.SoA} {
+			t.Run(fmt.Sprintf("%v/%v", scheme, layout), func(t *testing.T) {
+				cfg := goldenConfig(mesh.CSP)
+				cfg.Scene = leakScene(t)
+				cfg.Scheme = scheme
+				cfg.Layout = layout
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.Counter
+				got.OERounds, got.OESlotSweeps, got.OEActiveVisits = 0, 0, 0
+				if scheme == OverEvents {
+					got.DensityReads = want.counters.DensityReads
+				}
+				if got != want.counters {
+					t.Errorf("counter vector drifted:\ngot  %+v\nwant %+v", got, want.counters)
+				}
+				if !goldenClose(res.TallyTotal, want.tallyTotal) {
+					t.Errorf("tally total %.17g, want %.17g", res.TallyTotal, want.tallyTotal)
+				}
+				if !goldenClose(res.Conservation.FinalWeight, want.finalWeight) {
+					t.Errorf("final weight %.17g, want %.17g",
+						res.Conservation.FinalWeight, want.finalWeight)
+				}
+				if sum := goldenBankSum(res.Bank); !goldenClose(sum, want.bankSum) {
+					t.Errorf("bank checksum %.17g, want %.17g", sum, want.bankSum)
+				}
+				for e := 0; e < mesh.NumEdges; e++ {
+					if want.leakW[e] == 0 {
+						// Closed (reflective) edges leak exactly nothing.
+						if res.Leakage.Weight[e] != 0 || res.Leakage.Energy[e] != 0 {
+							t.Errorf("reflective edge %v leaked %g/%g",
+								mesh.Edge(e), res.Leakage.Weight[e], res.Leakage.Energy[e])
+						}
+						continue
+					}
+					if !goldenClose(res.Leakage.Weight[e], want.leakW[e]) ||
+						!goldenClose(res.Leakage.Energy[e], want.leakE[e]) {
+						t.Errorf("edge %v leakage %.17g/%.17g, want %.17g/%.17g",
+							mesh.Edge(e), res.Leakage.Weight[e], res.Leakage.Energy[e],
+							want.leakW[e], want.leakE[e])
+					}
+				}
+				if res.Conservation.RelativeError > 1e-9 {
+					t.Errorf("conservation error %.3g", res.Conservation.RelativeError)
+				}
+			})
+		}
+	}
+}
+
 // goldenClose compares pinned floats at 1e-9 relative — far tighter than
 // any physics change can hide under, loose enough for cross-platform libm
 // least-significant-bit differences.

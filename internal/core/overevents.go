@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/events"
+	"repro/internal/mesh"
 	"repro/internal/particle"
 	"repro/internal/xs"
 )
@@ -143,6 +144,10 @@ func (r *run) stepOverEvents(res *Result) {
 	sc := r.oe
 	threads := r.cfg.Threads
 	bankN := uint64(r.bank.Len())
+	// Hoisted: only a mesh with vacuum edges can retire facet particles,
+	// so all-reflective scenes skip the survivor bookkeeping and keep the
+	// inlined reflective facet handler.
+	canLeak := r.canLeak
 
 	// One status sweep builds the step's initial active set; every later
 	// round compacts it in place from the event buckets.
@@ -270,50 +275,112 @@ func (r *run) stepOverEvents(res *Result) {
 
 		// Kernels 3+4 fused: handle_facet — flush the deposit register
 		// into the cell being left (the paper's separate tally loop,
-		// §VI-G), then cross into the neighbour cell or reflect at the
-		// boundary, all through field views. The paper splits these
-		// into two kernels only because OpenMP's vectoriser could not
-		// digest the atomic inside the facet kernel; a scalar Go
-		// backend gains nothing from the split, and fusing removes a
-		// second full pass over the facet bucket. Per-particle order
-		// is unchanged (flush, then move), so the fusion is invisible
-		// to the physics. The flush time is attributed to FacetKernel;
+		// §VI-G), then cross into the neighbour cell, reflect at a
+		// reflective boundary, or escape through a vacuum one, all
+		// through field views. The paper splits these into two kernels
+		// only because OpenMP's vectoriser could not digest the atomic
+		// inside the facet kernel; a scalar Go backend gains nothing
+		// from the split, and fusing removes a second full pass over
+		// the facet bucket. Per-particle order is unchanged (flush,
+		// then move), so the fusion is invisible to the physics.
+		//
+		// On a mesh with vacuum edges, survivors are compacted in place
+		// within each worker's segment (escaped slots drop out of the
+		// round like collision deaths do), keeping the next active list
+		// sorted. An all-reflective mesh cannot escape anything, so the
+		// compaction bookkeeping — a survivor store per facet particle —
+		// is skipped and the whole bucket survives, exactly the paper
+		// hot path. The flush time is attributed to FacetKernel;
 		// TallyKernel times the census flush pass.
 		t0 = time.Now()
-		parallelFor(oeWorkers(threads, nFacet), nFacet, oeSchedule, func(w, lo, hi int) {
-			ws := r.workers[w]
-			start := time.Now()
-			for k := lo; k < hi; k++ {
-				i := int(sc.facet[k])
-				ws.c.FacetEvents++
-				g := sc.facetG[k]
-				axis := int(g >> 1)
-				dir := -1
-				if g&1 != 0 {
-					dir = 1
+		if !canLeak {
+			parallelFor(oeWorkers(threads, nFacet), nFacet, oeSchedule, func(w, lo, hi int) {
+				ws := r.workers[w]
+				start := time.Now()
+				for k := lo; k < hi; k++ {
+					i := int(sc.facet[k])
+					ws.c.FacetEvents++
+					g := sc.facetG[k]
+					axis := int(g >> 1)
+					dir := -1
+					if g&1 != 0 {
+						dir = 1
+					}
+					if p := r.bank.Ref(i); p != nil {
+						// AoS: flush and cross in place — one
+						// record touch, no call layers. Same
+						// operations as the view path below.
+						if p.Deposit != 0 {
+							r.tly.Add(ws.id, r.mesh.Index(int(p.CellX), int(p.CellY)), p.Deposit)
+							p.Deposit = 0
+						}
+						ws.c.TallyFlushes++
+						if events.ApplyFacetReflective(r.mesh, p, axis, dir) {
+							ws.c.Reflections++
+						}
+					} else {
+						r.flushSlot(ws, i)
+						if events.ApplyFacetBank(r.mesh, r.bank, i, axis, dir) == events.FacetReflected {
+							ws.c.Reflections++
+						}
+					}
 				}
-				if p := r.bank.Ref(i); p != nil {
-					// AoS: flush and cross in place — one
-					// record touch, no call layers. Same
-					// operations as the view path below.
-					if p.Deposit != 0 {
-						r.tly.Add(ws.id, r.mesh.Index(int(p.CellX), int(p.CellY)), p.Deposit)
-						p.Deposit = 0
-					}
-					ws.c.TallyFlushes++
-					if events.ApplyFacet(r.mesh, p, axis, dir) {
-						ws.c.Reflections++
-					}
-				} else {
-					r.flushSlot(ws, i)
-					if events.ApplyFacetBank(r.mesh, r.bank, i, axis, dir) {
-						ws.c.Reflections++
-					}
-				}
+				ws.c.OEActiveVisits += uint64(hi - lo)
+				ws.busy += time.Since(start)
+			})
+		} else {
+			for w := 0; w < threads; w++ {
+				sc.segLo[w], sc.nKeep[w] = 0, 0
 			}
-			ws.c.OEActiveVisits += uint64(hi - lo)
-			ws.busy += time.Since(start)
-		})
+			parallelFor(oeWorkers(threads, nFacet), nFacet, oeSchedule, func(w, lo, hi int) {
+				ws := r.workers[w]
+				start := time.Now()
+				nk, escaped := 0, 0
+				for k := lo; k < hi; k++ {
+					i := int(sc.facet[k])
+					ws.c.FacetEvents++
+					g := sc.facetG[k]
+					axis := int(g >> 1)
+					dir := -1
+					if g&1 != 0 {
+						dir = 1
+					}
+					var outcome events.FacetOutcome
+					if p := r.bank.Ref(i); p != nil {
+						if p.Deposit != 0 {
+							r.tly.Add(ws.id, r.mesh.Index(int(p.CellX), int(p.CellY)), p.Deposit)
+							p.Deposit = 0
+						}
+						ws.c.TallyFlushes++
+						outcome = events.ApplyFacet(r.mesh, p, axis, dir)
+					} else {
+						r.flushSlot(ws, i)
+						outcome = events.ApplyFacetBank(r.mesh, r.bank, i, axis, dir)
+					}
+					switch outcome {
+					case events.FacetReflected:
+						ws.c.Reflections++
+					case events.FacetEscaped:
+						ws.c.Escapes++
+						edge := mesh.EdgeOf(axis, dir)
+						wgt, we := r.bank.Escape(i)
+						ws.leak.Weight[edge] += wgt
+						ws.leak.Energy[edge] += we
+						escaped++
+						continue // retired: not a survivor
+					}
+					sc.facet[lo+nk] = int32(i)
+					nk++
+				}
+				sc.segLo[w], sc.nKeep[w] = int32(lo), int32(nk)
+				ws.c.OEActiveVisits += uint64(hi - lo)
+				if escaped > 0 {
+					r.done.Add(int64(escaped))
+				}
+				ws.busy += time.Since(start)
+			})
+			nFacet = packSegments(sc.facet, 0, sc.segLo, sc.nKeep[:threads])
+		}
 		res.Phases.FacetKernel += time.Since(t0)
 
 		r.workers[0].c.OERounds++

@@ -47,11 +47,14 @@ func (r *run) stepOverParticles(res *Result) {
 	res.Phases.Fused += time.Since(t0)
 }
 
-// history advances one particle until census or death. The loop follows the
-// paper's Listing 1: calculate time to events, then handle the nearest of
-// collision, facet and census.
+// history advances one particle until census, death or escape. The loop
+// follows the paper's Listing 1: calculate time to events, then handle the
+// nearest of collision, facet and census.
 func (r *run) history(ws *workerState, p *particle.Particle) {
 	m := r.mesh
+	// Hoisted: a mesh with no vacuum edge takes the reflective-only facet
+	// handler, which the compiler inlines (see events.ApplyFacetReflective).
+	canLeak := r.canLeak
 	s := p.Stream(r.cfg.Seed)
 
 	// Register-cached state for the whole history.
@@ -89,11 +92,25 @@ func (r *run) history(ws *workerState, p *particle.Particle) {
 			// Flush the deposit register onto the tally mesh for
 			// the cell being left — the per-facet atomic.
 			r.flush(ws, p)
-			if reflected := events.ApplyFacet(m, p, axis, dir); reflected {
-				ws.c.Reflections++
-			} else {
+			if !canLeak {
+				// All-reflective mesh: the historical inlined path.
+				if events.ApplyFacetReflective(m, p, axis, dir) {
+					ws.c.Reflections++
+				} else {
+					rho = m.Density(int(p.CellX), int(p.CellY))
+					ws.c.DensityReads++
+				}
+			} else if out := events.ApplyFacet(m, p, axis, dir); out == events.FacetCrossed {
 				rho = m.Density(int(p.CellX), int(p.CellY))
 				ws.c.DensityReads++
+			} else if out == events.FacetReflected {
+				ws.c.Reflections++
+			} else {
+				// Vacuum boundary: the history ends here and its
+				// weight-energy leaks out through this edge.
+				r.escape(ws, p, axis, dir)
+				p.SaveStream(&s)
+				return
 			}
 
 		case events.Census:

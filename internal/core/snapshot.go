@@ -17,18 +17,23 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/mesh"
 	"repro/internal/particle"
+	"repro/internal/scene"
 )
 
 // Snapshot format constants. The magic and version head every checkpoint;
 // a CRC-32 of everything before it ends it. Version 2 extended the counter
-// vector with OEActiveVisits (PR 3); version 3 adds the population-control
-// counters and admits banks grown past the source population by
-// weight-window splitting (PR 4). Older checkpoints are refused with the
-// version error, not misreported as corrupt.
+// vector with OEActiveVisits (PR 3); version 3 added the population-control
+// counters and admitted banks grown past the source population by
+// weight-window splitting (PR 4); version 4 embeds the scene (canonical
+// JSON, so a checkpoint is self-describing), the birth-weight/energy audit
+// baselines, the per-edge leakage tallies, and the escape counter. Older
+// checkpoints are refused with the version error, not misreported as
+// corrupt.
 const (
 	snapshotMagic   = "NEUTSNAP"
-	snapshotVersion = uint32(3)
+	snapshotVersion = uint32(4)
 )
 
 // ErrSnapshotCorrupt reports a snapshot that failed structural validation:
@@ -46,14 +51,16 @@ var ErrSnapshotMismatch = fmt.Errorf("core: snapshot does not match config")
 // tally mode) are deliberately excluded: the schemes are bit-equivalent and
 // the counter-based RNG makes histories ownership-independent, so a
 // checkpoint taken under one strategy may legally resume under another.
+// The scene enters through its content hash, so a checkpoint taken under a
+// preset resumes under an equivalent inline scene and vice versa.
 // A CustomDensity hook has no canonical form, so only its presence is
 // hashed: restoring a hooked snapshot under a hookless config (or vice
 // versa) is refused, while the caller remains responsible for re-supplying
 // the same hook — as RestoreSimulation documents.
 func physicsHash(cfg Config) [sha256.Size]byte {
 	h := sha256.New()
-	fmt.Fprintf(h, "problem=%d nx=%d ny=%d particles=%d dt=%x steps=%d seed=%d ",
-		int(cfg.Problem), cfg.NX, cfg.NY, cfg.Particles,
+	fmt.Fprintf(h, "scene=%s nx=%d ny=%d particles=%d dt=%x steps=%d seed=%d ",
+		cfg.sceneKey(), cfg.NX, cfg.NY, cfg.Particles,
 		math.Float64bits(cfg.Timestep), cfg.Steps, cfg.Seed)
 	fmt.Fprintf(h, "xs=%d wcut=%x ecut=%x density-hook=%t ",
 		cfg.XSPoints, math.Float64bits(cfg.WeightCutoff),
@@ -91,6 +98,7 @@ func counterVector(c *Counters) []uint64 {
 		c.DensityReads, c.TallyFlushes, c.RNGDraws,
 		c.OERounds, c.OESlotSweeps, c.OEActiveVisits,
 		c.WWRoulette, c.WWKills, c.WWSplits, c.WWChildren,
+		c.Escapes,
 	}
 }
 
@@ -102,6 +110,7 @@ func counterScatter(v []uint64) Counters {
 		TallyFlushes: v[9], RNGDraws: v[10], OERounds: v[11],
 		OESlotSweeps: v[12], OEActiveVisits: v[13],
 		WWRoulette: v[14], WWKills: v[15], WWSplits: v[16], WWChildren: v[17],
+		Escapes: v[18],
 	}
 }
 
@@ -208,6 +217,9 @@ func (r *snapshotReader) readParticle(p *particle.Particle) {
 //
 //	magic[8] version:u32 physicsHash[32] nextStep:u64
 //	counters: count:u32 then count u64 fields
+//	scene: len:u32 then canonical JSON bytes
+//	audit: birthWeight:f64 birthEnergy:f64
+//	leakage: 4 edge weights then 4 edge energies, f64 each
 //	bank: layout:u8 n:u64 then n canonical particle records
 //	tally: nonzero:u64 then (cell:u64 value:f64) pairs
 //	crc32(payload):u32
@@ -231,6 +243,32 @@ func (s *Simulation) Snapshot() []byte {
 	w.u32(uint32(len(vec)))
 	for _, v := range vec {
 		w.u64(v)
+	}
+
+	// The scene rides along in canonical JSON, making the checkpoint
+	// self-describing: restore verifies the embedded scene against the
+	// offered config, and tooling can read a checkpoint's geometry
+	// without the config that produced it.
+	sceneJSON, err := r.cfg.Scene.CanonicalJSON()
+	if err != nil {
+		// The scene was validated at construction; a failure here is a
+		// programming error, not an I/O condition.
+		panic(fmt.Sprintf("core: snapshot scene serialisation: %v", err))
+	}
+	w.u32(uint32(len(sceneJSON)))
+	w.buf = append(w.buf, sceneJSON...)
+
+	w.f64(r.birthWeight)
+	w.f64(r.birthEnergy)
+	leak := r.baseLeak
+	for _, ws := range r.workers {
+		leak.add(&ws.leak)
+	}
+	for e := 0; e < mesh.NumEdges; e++ {
+		w.f64(leak.Weight[e])
+	}
+	for e := 0; e < mesh.NumEdges; e++ {
+		w.f64(leak.Energy[e])
 	}
 
 	w.u8(uint8(r.bank.Layout()))
@@ -331,6 +369,29 @@ func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
 	for i := range vec {
 		vec[i] = rd.u64()
 	}
+
+	// Scene block: the embedded canonical JSON must itself parse and must
+	// describe the same physics as the offered config's scene — a second,
+	// self-describing guard alongside the physics hash.
+	sceneLen := int(rd.u32())
+	if rd.bad || sceneLen > len(payload)-rd.off {
+		return nil, fmt.Errorf("%w: truncated scene block", ErrSnapshotCorrupt)
+	}
+	storedScene, err := scene.Parse(rd.take(sceneLen))
+	if err != nil {
+		return nil, fmt.Errorf("%w: embedded scene: %v", ErrSnapshotCorrupt, err)
+	}
+
+	birthWeight := rd.f64()
+	birthEnergy := rd.f64()
+	var leak Leakage
+	for e := 0; e < mesh.NumEdges; e++ {
+		leak.Weight[e] = rd.f64()
+	}
+	for e := 0; e < mesh.NumEdges; e++ {
+		leak.Energy[e] = rd.f64()
+	}
+
 	_ = rd.u8() // layout the snapshot was taken under; informational
 	n := rd.u64()
 	if rd.bad {
@@ -351,6 +412,9 @@ func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
 	}
 	if hash := physicsHash(r.cfg); hash != storedHash {
 		return nil, ErrSnapshotMismatch
+	}
+	if storedScene.Hash() != r.cfg.Scene.Hash() {
+		return nil, fmt.Errorf("%w: embedded scene differs from config scene", ErrSnapshotMismatch)
 	}
 	switch {
 	case int(n) == r.cfg.Particles:
@@ -396,6 +460,9 @@ func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
 	}
 
 	r.base = counterScatter(vec)
+	r.baseLeak = leak
+	r.birthWeight = birthWeight
+	r.birthEnergy = birthEnergy
 	r.step.Store(int64(next))
 	alive, census, _ := r.bank.CountStatus()
 	r.stepTotal.Store(int64(alive + census))

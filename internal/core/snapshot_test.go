@@ -1,13 +1,16 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"testing"
 
 	"repro/internal/mesh"
 	"repro/internal/particle"
+	"repro/internal/scene"
 	"repro/internal/tally"
 )
 
@@ -274,6 +277,133 @@ func TestSimulationResetMatchesFresh(t *testing.T) {
 		if rel := relDiff(want.TallyTotal, got.TallyTotal); rel > 1e-9 {
 			t.Errorf("reset %d: tally totals differ by %.3g relative", i, rel)
 		}
+	}
+}
+
+// TestSnapshotVacuumSceneRoundTrip: a run over a vacuum-leakage scene split
+// by a snapshot/restore mid-run matches the uninterrupted run exactly —
+// escape counters, per-edge leakage tallies and the conservation baselines
+// all survive the v4 format.
+func TestSnapshotVacuumSceneRoundTrip(t *testing.T) {
+	sc := leakScene(t)
+	for _, scheme := range []Scheme{OverParticles, OverEvents} {
+		cfg := stepsConfig(mesh.CSP, 3)
+		cfg.Scene = sc
+		cfg.Scheme = scheme
+
+		full, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Counter.Escapes == 0 {
+			t.Fatal("leak scene produced no escapes")
+		}
+
+		sim, err := NewSimulation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := RestoreSimulation(cfg, sim.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !resumed.Done() {
+			if err := resumed.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := resumed.Finalize()
+		compareBanks(t, full.Bank, res.Bank)
+		if full.Counter != res.Counter {
+			t.Errorf("%v: counters differ:\nfull    %+v\nresumed %+v", scheme, full.Counter, res.Counter)
+		}
+		// Leakage is a floating-point accumulation, like the tally: the
+		// restore boundary reassociates the per-edge sums, so compare at
+		// the tally tolerance, not bit for bit.
+		for e := 0; e < mesh.NumEdges; e++ {
+			if relDiff(full.Leakage.Weight[e], res.Leakage.Weight[e]) > 1e-9 ||
+				relDiff(full.Leakage.Energy[e], res.Leakage.Energy[e]) > 1e-9 {
+				t.Errorf("%v: edge %v leakage differs:\nfull    %g/%g\nresumed %g/%g",
+					scheme, mesh.Edge(e), full.Leakage.Weight[e], full.Leakage.Energy[e],
+					res.Leakage.Weight[e], res.Leakage.Energy[e])
+			}
+		}
+		if full.Conservation.BirthWeight != res.Conservation.BirthWeight ||
+			full.Conservation.BirthEnergy != res.Conservation.BirthEnergy {
+			t.Errorf("%v: birth baselines lost across restore", scheme)
+		}
+		if res.Conservation.RelativeError > 1e-9 {
+			t.Errorf("%v: resumed conservation error %.3g", scheme, res.Conservation.RelativeError)
+		}
+	}
+}
+
+// TestSnapshotSceneMismatch: v4 checkpoints embed the scene; restoring under
+// a config whose scene describes different physics is refused, while an
+// inline scene physically equivalent to the snapshot's preset is accepted.
+func TestSnapshotSceneMismatch(t *testing.T) {
+	cfg := stepsConfig(mesh.CSP, 2) // preset scene via Validate
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sim.Snapshot()
+
+	// Different physics: vacuum edges on the same geometry.
+	other := cfg
+	other.Scene = leakScene(t)
+	if _, err := RestoreSimulation(other, snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("restore under a different scene: %v, want ErrSnapshotMismatch", err)
+	}
+
+	// Equivalent physics under different naming: accepted, and the restored
+	// run finishes with the same result as the original config would.
+	equiv := cfg
+	equiv.Scene = &scene.Scene{
+		Name: "csp-but-renamed",
+		Materials: []scene.Material{
+			{Name: "void", Density: mesh.VacuumDensity},
+			{Name: "block", Density: mesh.DenseDensity},
+		},
+		Regions: []scene.Region{
+			{Material: "block", X0: mesh.Extent / 3, X1: 2 * mesh.Extent / 3,
+				Y0: mesh.Extent / 3, Y1: 2 * mesh.Extent / 3},
+		},
+		Sources: []scene.Source{{X0: 0, X1: mesh.Extent / 10, Y0: 0, Y1: mesh.Extent / 10}},
+	}
+	restored, err := RestoreSimulation(equiv, snap)
+	if err != nil {
+		t.Fatalf("restore under an equivalent inline scene: %v", err)
+	}
+	res, err := restored.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareBanks(t, want.Bank, res.Bank)
+	if want.Counter != res.Counter {
+		t.Errorf("equivalent-scene restore drifted:\nwant %+v\ngot  %+v", want.Counter, res.Counter)
+	}
+
+	// A corrupted scene block (with the CRC recomputed, so the checksum
+	// passes) fails structurally at the embedded-scene parse, not as a
+	// mismatch.
+	bad := append([]byte(nil), snap...)
+	// The scene JSON starts after magic+version+hash+nextStep+counters+len.
+	off := len(snapshotMagic) + 4 + 32 + 8 + 4 + 8*len(counterVector(&Counters{})) + 4
+	bad[off] ^= 0xff
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+	if _, err := RestoreSimulation(cfg, bad); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Errorf("corrupted scene block: %v, want ErrSnapshotCorrupt", err)
 	}
 }
 

@@ -42,6 +42,11 @@ type Result struct {
 	// only the live run (they are not carried across snapshot/resume).
 	TallyDeposits   uint64
 	TallyBaseWrites uint64
+	// Leakage is the per-edge vacuum-boundary loss tally: the weight and
+	// weight-energy carried out by escaped histories. All-zero on
+	// reflective scenes; carried across snapshot/resume like the
+	// counters.
+	Leakage Leakage
 	// Bank is the final particle bank (KeepBank only).
 	Bank *particle.Bank
 }
@@ -66,12 +71,13 @@ func (r *Result) LoadImbalance() float64 {
 	return float64(max) / mean
 }
 
-// workerState is the per-worker private state: instrumentation counters and
-// the cross-section cursors that play the role of the per-thread cached
-// lookup index in the C implementation.
+// workerState is the per-worker private state: instrumentation counters,
+// the per-edge leakage accumulators, and the cross-section cursors that play
+// the role of the per-thread cached lookup index in the C implementation.
 type workerState struct {
 	id      int
 	c       Counters
+	leak    Leakage
 	capCur  *xs.Cursor
 	scatCur *xs.Cursor
 	busy    time.Duration
@@ -79,19 +85,27 @@ type workerState struct {
 
 // run holds the solver state for one configuration.
 type run struct {
-	cfg      Config
-	mesh     *mesh.Mesh
-	spec     mesh.Spec
-	specBase mesh.Spec // as built, before CustomSource override (Reset)
-	ctx      events.Context
-	bank     *particle.Bank
-	tly      tally.Tally
-	workers  []*workerState
+	cfg     Config
+	mesh    *mesh.Mesh
+	sources []particle.SourceTerm
+	ctx     events.Context
+	bank    *particle.Bank
+	tly     tally.Tally
+	workers []*workerState
+
+	// birthWeight and birthEnergy are the conservation-audit baselines:
+	// exact sums over the records the source sampling stored (weighted
+	// and jittered sources make them run-specific). Restored from the
+	// snapshot on resume.
+	birthWeight float64
+	birthEnergy float64
 
 	// base carries counters restored from a snapshot; finish adds it to
 	// the live per-worker counters so a resumed run reports the same
-	// totals as an uninterrupted one.
-	base Counters
+	// totals as an uninterrupted one. baseLeak does the same for the
+	// per-edge leakage tallies.
+	base     Counters
+	baseLeak Leakage
 
 	// Over Events compaction scratch: the persistent active-index list
 	// and per-event gather buckets (see oeState in overevents.go).
@@ -101,6 +115,11 @@ type run struct {
 	// per-cell weight-window target. Computed at (re)build time, only
 	// when the window is enabled.
 	wwRhoMax float64
+
+	// canLeak caches mesh.HasVacuum() at (re)build time: all-reflective
+	// scenes take the historical inlined facet path, vacuum scenes the
+	// boundary-condition-aware one.
+	canLeak bool
 
 	// Cancellation and progress plumbing (RunCtx). stop is polled from
 	// the hot loops and stays read-only until a cancel, so the padding
@@ -126,15 +145,15 @@ func (r *run) progress() Progress {
 	}
 }
 
-// newRun validates the configuration, builds the mesh, tables, tally and
-// worker state, and (when populate is set) fills the source. Shared by
-// NewSimulation, RestoreSimulation and RunDomains; restores skip the
-// populate because the snapshot overwrites every particle record anyway.
+// newRun validates the configuration, builds the scene's mesh, the tables,
+// tally and worker state, and (when populate is set) fills the source.
+// Shared by NewSimulation, RestoreSimulation and RunDomains; restores skip
+// the populate because the snapshot overwrites every particle record anyway.
 func newRun(cfg Config, populate bool) (*run, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m, spec, err := mesh.Build(cfg.Problem, cfg.NX, cfg.NY)
+	m, err := cfg.Scene.Build(cfg.NX, cfg.NY)
 	if err != nil {
 		return nil, err
 	}
@@ -142,10 +161,9 @@ func newRun(cfg Config, populate bool) (*run, error) {
 		cfg.CustomDensity(m)
 	}
 	r := &run{
-		cfg:      cfg,
-		mesh:     m,
-		spec:     spec,
-		specBase: spec,
+		cfg:     cfg,
+		mesh:    m,
+		sources: runSources(cfg),
 		ctx: events.Context{
 			Mesh:         m,
 			XS:           xs.GeneratePair(cfg.XSPoints),
@@ -155,9 +173,7 @@ func newRun(cfg Config, populate bool) (*run, error) {
 		bank: particle.NewBank(cfg.Layout, cfg.Particles),
 		tly:  tally.New(cfg.Tally, m.NumCells(), cfg.Threads),
 	}
-	if cfg.CustomSource != nil {
-		r.spec.Source = *cfg.CustomSource
-	}
+	r.canLeak = m.HasVacuum()
 	r.buildWorkers()
 	if cfg.Scheme == OverEvents {
 		r.ensureOE()
@@ -166,9 +182,36 @@ func newRun(cfg Config, populate bool) (*run, error) {
 		r.wwRhoMax = r.maxDensity()
 	}
 	if populate {
-		particle.PopulateFamily(r.bank, m, r.spec.Source, cfg.Timestep, cfg.Seed, r.idBase())
+		r.birthWeight, r.birthEnergy = particle.PopulateSources(
+			r.bank, m, r.sources, cfg.Timestep, cfg.Seed, r.idBase())
 	}
 	return r, nil
+}
+
+// runSources resolves the source terms a validated config samples from: the
+// scene's sources, unless a CustomSource override replaces them with a
+// single unit-weight box.
+func runSources(cfg Config) []particle.SourceTerm {
+	if cfg.CustomSource != nil {
+		return []particle.SourceTerm{{
+			Box: *cfg.CustomSource, Share: 1,
+			Weight: particle.SourceWeight, Energy: particle.SourceEnergy,
+		}}
+	}
+	return cfg.Scene.SourceTerms()
+}
+
+// escape retires a history at a vacuum boundary: the carried weight-energy
+// is charged to the exit edge's leakage tally (never the deposition tally)
+// and the record is marked Escaped with zero weight. The deposit register
+// was already flushed by the facet handling, so nothing is lost.
+func (r *run) escape(ws *workerState, p *particle.Particle, axis, dir int) {
+	edge := mesh.EdgeOf(axis, dir)
+	ws.c.Escapes++
+	ws.leak.Weight[edge] += p.Weight
+	ws.leak.Energy[edge] += p.Weight * p.Energy
+	p.Weight = 0
+	p.Status = particle.Escaped
 }
 
 // idBase is the first RNG stream identity of this run's source family:
@@ -449,25 +492,24 @@ func (s *Simulation) Reset(cfg Config) error {
 	old := r.cfg
 	oldCells := r.mesh.NumCells()
 
-	// Mesh: rebuild on any geometry change, and whenever a density hook
-	// is (or was) involved — the hook mutates the mesh in place, so a
-	// hooked mesh has no pristine state to return to.
-	if cfg.Problem != old.Problem || cfg.NX != old.NX || cfg.NY != old.NY ||
+	// Mesh: rebuild on any geometry or scene change, and whenever a
+	// density hook is (or was) involved — the hook mutates the mesh in
+	// place, so a hooked mesh has no pristine state to return to. Scene
+	// identity is content, not pointer: a re-parsed copy of the same
+	// scene file reuses the painted mesh.
+	if cfg.Scene.Hash() != old.Scene.Hash() || cfg.NX != old.NX || cfg.NY != old.NY ||
 		cfg.CustomDensity != nil || old.CustomDensity != nil {
-		m, spec, err := mesh.Build(cfg.Problem, cfg.NX, cfg.NY)
+		m, err := cfg.Scene.Build(cfg.NX, cfg.NY)
 		if err != nil {
 			return err
 		}
 		if cfg.CustomDensity != nil {
 			cfg.CustomDensity(m)
 		}
-		r.mesh, r.specBase = m, spec
+		r.mesh = m
 		r.ctx.Mesh = m
 	}
-	r.spec = r.specBase
-	if cfg.CustomSource != nil {
-		r.spec.Source = *cfg.CustomSource
-	}
+	r.sources = runSources(cfg)
 
 	if cfg.XSPoints != old.XSPoints {
 		r.ctx.XS = xs.GeneratePair(cfg.XSPoints)
@@ -490,6 +532,7 @@ func (s *Simulation) Reset(cfg Config) error {
 		r.tly.Reset()
 	}
 	r.cfg = cfg
+	r.canLeak = r.mesh.HasVacuum()
 	r.buildWorkers() // fresh counters and cursors, as newRun would
 	if cfg.Scheme == OverEvents {
 		r.ensureOE() // reuses prior scratch when it still fits
@@ -500,11 +543,13 @@ func (s *Simulation) Reset(cfg Config) error {
 		r.wwRhoMax = r.maxDensity()
 	}
 	r.base = Counters{}
+	r.baseLeak = Leakage{}
 	r.stop.Store(false)
 	r.done.Store(0)
 	r.step.Store(0)
 	r.stepTotal.Store(int64(cfg.Particles))
-	particle.PopulateFamily(r.bank, r.mesh, r.spec.Source, cfg.Timestep, cfg.Seed, r.idBase())
+	r.birthWeight, r.birthEnergy = particle.PopulateSources(
+		r.bank, r.mesh, r.sources, cfg.Timestep, cfg.Seed, r.idBase())
 
 	s.next = 0
 	s.finalized = false
@@ -548,27 +593,29 @@ func (r *run) finish(res *Result) {
 	cfg := r.cfg
 	res.WorkerBusy = make([]time.Duration, len(r.workers))
 	res.Counter = r.base
+	res.Leakage = r.baseLeak
 	for w, ws := range r.workers {
 		res.Counter.Add(&ws.c)
 		res.Counter.XSSearchSteps += ws.capCur.Steps + ws.scatCur.Steps
+		res.Leakage.add(&ws.leak)
 		res.WorkerBusy[w] = ws.busy
 	}
-	birthWeight := float64(cfg.Particles) * particle.SourceWeight
-	birthEnergy := birthWeight * particle.SourceEnergy
 
 	// Conservation audit (meaningless for the null tally).
 	res.TallyTotal = r.tly.Total()
 	inFlight := r.bank.TotalEnergy()
+	leaked := res.Leakage.TotalEnergy()
 	res.Conservation = Conservation{
-		BirthWeight: birthWeight,
+		BirthWeight: r.birthWeight,
 		FinalWeight: r.bank.TotalWeight(),
-		BirthEnergy: birthEnergy,
+		BirthEnergy: r.birthEnergy,
 		Deposited:   res.TallyTotal,
 		InFlight:    inFlight,
+		Leaked:      leaked,
 	}
 	if cfg.Tally != tally.ModeNull {
 		res.Conservation.RelativeError =
-			math.Abs(birthEnergy-(res.TallyTotal+inFlight)) / birthEnergy
+			math.Abs(r.birthEnergy-(res.TallyTotal+inFlight+leaked)) / r.birthEnergy
 	}
 
 	// Tally-implementation statistics, read after Total() above so the

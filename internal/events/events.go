@@ -145,11 +145,59 @@ func DistanceToFacet(m *mesh.Mesh, x, y, ux, uy float64, cx, cy int32) (d float6
 	return dy, 1, dirY
 }
 
-// ApplyFacet moves the particle's cell across the encountered facet, or
-// reflects its direction if the facet is a domain boundary (reflective
-// boundary conditions keep the particle population conserved, §IV-C).
-// It reports whether the particle was reflected.
-func ApplyFacet(m *mesh.Mesh, p *particle.Particle, axis, dir int) (reflected bool) {
+// FacetOutcome reports what a facet encounter did to the particle.
+type FacetOutcome uint8
+
+const (
+	// FacetCrossed: the particle moved into the neighbouring cell.
+	FacetCrossed FacetOutcome = iota
+	// FacetReflected: the facet was a reflective domain boundary and the
+	// particle's direction was mirrored back into the domain.
+	FacetReflected
+	// FacetEscaped: the facet was a vacuum domain boundary; the history
+	// ends and its weight-energy leaks out (the caller records the
+	// leakage and retires the particle).
+	FacetEscaped
+)
+
+// ApplyFacet moves the particle's cell across the encountered facet, or —
+// when the facet is a domain boundary — applies that edge's boundary
+// condition: reflective mirrors the direction (the population-conserving
+// condition the paper uses throughout, §IV-C), vacuum ends the history as
+// an escape. An escape leaves the record untouched; the caller owns the
+// leakage accounting and status transition. The boundary-condition lookup
+// is shared by both axes; scenes that cannot leak should take
+// ApplyFacetReflective instead, which stays within the inlining budget.
+func ApplyFacet(m *mesh.Mesh, p *particle.Particle, axis, dir int) FacetOutcome {
+	if axis == 0 {
+		if next := int(p.CellX) + dir; uint(next) < uint(m.NX) {
+			p.CellX = int32(next)
+			return FacetCrossed
+		}
+	} else if next := int(p.CellY) + dir; uint(next) < uint(m.NY) {
+		p.CellY = int32(next)
+		return FacetCrossed
+	}
+	if m.EdgeBC(mesh.EdgeOf(axis, dir)) == mesh.Vacuum {
+		return FacetEscaped
+	}
+	if axis == 0 {
+		p.UX = -p.UX
+	} else {
+		p.UY = -p.UY
+	}
+	return FacetReflected
+}
+
+// ApplyFacetReflective is ApplyFacet specialised to the paper's
+// all-reflective boundaries: on a mesh with no vacuum edge the
+// boundary-condition lookup is dead code, and eliding it keeps the function
+// inside the compiler's inlining budget, so the per-facet call vanishes in
+// the hot loops exactly as it did before boundary conditions existed.
+// Callers must only take this path when mesh.HasVacuum() is false; the
+// scheme solvers hoist that check once per run. TestReflectiveSpecialisation
+// pins it to ApplyFacet on reflective meshes.
+func ApplyFacetReflective(m *mesh.Mesh, p *particle.Particle, axis, dir int) (reflected bool) {
 	if axis == 0 {
 		next := int(p.CellX) + dir
 		if next < 0 || next >= m.NX {
@@ -174,7 +222,7 @@ func ApplyFacet(m *mesh.Mesh, p *particle.Particle, axis, dir int) (reflected bo
 // copy. It must stay semantically identical to ApplyFacet — the scheme
 // equivalence tests (Over Particles uses ApplyFacet, Over Events this)
 // pin the two together bit for bit.
-func ApplyFacetBank(m *mesh.Mesh, b *particle.Bank, i, axis, dir int) (reflected bool) {
+func ApplyFacetBank(m *mesh.Mesh, b *particle.Bank, i, axis, dir int) FacetOutcome {
 	if p := b.Ref(i); p != nil {
 		// AoS: operate on the record in place through the shared code.
 		return ApplyFacet(m, p, axis, dir)
@@ -185,11 +233,14 @@ func ApplyFacetBank(m *mesh.Mesh, b *particle.Bank, i, axis, dir int) (reflected
 	}
 	next := int(b.CellAxis(i, axis)) + dir
 	if next < 0 || next >= limit {
+		if m.EdgeBC(mesh.EdgeOf(axis, dir)) == mesh.Vacuum {
+			return FacetEscaped
+		}
 		b.NegateUAxis(i, axis)
-		return true
+		return FacetReflected
 	}
 	b.SetCellAxis(i, axis, int32(next))
-	return false
+	return FacetCrossed
 }
 
 // CollisionResult reports what a collision did, for instrumentation and

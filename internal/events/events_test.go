@@ -13,7 +13,8 @@ import (
 
 func testContext(t *testing.T) *Context {
 	t.Helper()
-	m, _, err := mesh.Build(mesh.Scatter, 32, 32)
+	// A homogeneous dense mesh, the scatter-problem geometry.
+	m, err := mesh.New(32, 32, mesh.Extent, mesh.Extent, mesh.DenseDensity)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,26 +143,104 @@ func TestApplyFacetTransitionAndReflection(t *testing.T) {
 	m, _ := mesh.New(4, 4, 1, 1, 1)
 	p := &particle.Particle{CellX: 1, CellY: 2, UX: 0.6, UY: 0.8}
 
-	if reflected := ApplyFacet(m, p, 0, 1); reflected || p.CellX != 2 {
-		t.Fatalf("interior x transition failed: reflected=%v cell=%d", reflected, p.CellX)
+	if out := ApplyFacet(m, p, 0, 1); out != FacetCrossed || p.CellX != 2 {
+		t.Fatalf("interior x transition failed: outcome=%v cell=%d", out, p.CellX)
 	}
-	if reflected := ApplyFacet(m, p, 1, -1); reflected || p.CellY != 1 {
+	if out := ApplyFacet(m, p, 1, -1); out != FacetCrossed || p.CellY != 1 {
 		t.Fatalf("interior y transition failed")
 	}
 
 	// Drive to the +x boundary and reflect.
 	p.CellX = 3
-	if reflected := ApplyFacet(m, p, 0, 1); !reflected || p.CellX != 3 || p.UX != -0.6 {
+	if out := ApplyFacet(m, p, 0, 1); out != FacetReflected || p.CellX != 3 || p.UX != -0.6 {
 		t.Fatalf("+x reflection failed: %+v", p)
 	}
 	// -y boundary.
 	p.CellY = 0
-	if reflected := ApplyFacet(m, p, 1, -1); !reflected || p.CellY != 0 || p.UY != -0.8 {
+	if out := ApplyFacet(m, p, 1, -1); out != FacetReflected || p.CellY != 0 || p.UY != -0.8 {
 		t.Fatalf("-y reflection failed: %+v", p)
 	}
 	// Reflection preserves the direction norm.
 	if r := p.UX*p.UX + p.UY*p.UY; math.Abs(r-1) > 1e-12 {
 		t.Fatalf("reflection broke unit direction: %v", r)
+	}
+}
+
+// TestReflectiveSpecialisation pins ApplyFacetReflective to ApplyFacet on
+// reflective meshes: for every cell/axis/direction combination the two must
+// produce the same record mutation and the same crossed/reflected verdict —
+// the hot-path specialisation may never drift from the authoritative
+// handler.
+func TestReflectiveSpecialisation(t *testing.T) {
+	m, _ := mesh.New(5, 3, 1, 1, 1)
+	for cx := int32(0); cx < 5; cx++ {
+		for cy := int32(0); cy < 3; cy++ {
+			for _, axis := range []int{0, 1} {
+				for _, dir := range []int{-1, 1} {
+					a := particle.Particle{CellX: cx, CellY: cy, UX: 0.6, UY: -0.8}
+					b := a
+					out := ApplyFacet(m, &a, axis, dir)
+					reflected := ApplyFacetReflective(m, &b, axis, dir)
+					if (out == FacetReflected) != reflected || out == FacetEscaped {
+						t.Fatalf("cell (%d,%d) axis %d dir %d: outcomes diverge: %v vs reflected=%v",
+							cx, cy, axis, dir, out, reflected)
+					}
+					if a != b {
+						t.Fatalf("cell (%d,%d) axis %d dir %d: records diverge:\n%+v\n%+v",
+							cx, cy, axis, dir, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyFacetVacuumEscape: a boundary facet whose edge is vacuum reports
+// an escape and leaves the record untouched, on every edge, through both the
+// working-copy path and the bank field-view path.
+func TestApplyFacetVacuumEscape(t *testing.T) {
+	cases := []struct {
+		edge      mesh.Edge
+		cx, cy    int32
+		axis, dir int
+	}{
+		{mesh.EdgeXLo, 0, 2, 0, -1},
+		{mesh.EdgeXHi, 3, 2, 0, 1},
+		{mesh.EdgeYLo, 2, 0, 1, -1},
+		{mesh.EdgeYHi, 2, 3, 1, 1},
+	}
+	for _, c := range cases {
+		m, _ := mesh.New(4, 4, 1, 1, 1)
+		m.SetEdgeBC(c.edge, mesh.Vacuum)
+
+		p := &particle.Particle{CellX: c.cx, CellY: c.cy, UX: 0.6, UY: 0.8}
+		before := *p
+		if out := ApplyFacet(m, p, c.axis, c.dir); out != FacetEscaped {
+			t.Fatalf("%v: outcome %v, want escape", c.edge, out)
+		}
+		if *p != before {
+			t.Fatalf("%v: escape mutated the record: %+v", c.edge, p)
+		}
+		// The opposite edge still reflects.
+		q := &particle.Particle{CellX: 3 - c.cx, CellY: 3 - c.cy, UX: 0.6, UY: 0.8}
+		if out := ApplyFacet(m, q, c.axis, -c.dir); out != FacetReflected {
+			t.Fatalf("%v: opposite edge outcome %v, want reflection", c.edge, out)
+		}
+
+		// Bank path, both layouts.
+		for _, layout := range []particle.Layout{particle.AoS, particle.SoA} {
+			b := particle.NewBank(layout, 1)
+			rec := particle.Particle{CellX: c.cx, CellY: c.cy, UX: 0.6, UY: 0.8, Status: particle.Alive}
+			b.Store(0, &rec)
+			if out := ApplyFacetBank(m, b, 0, c.axis, c.dir); out != FacetEscaped {
+				t.Fatalf("%v/%v: bank outcome %v, want escape", c.edge, layout, out)
+			}
+			var got particle.Particle
+			b.Load(0, &got)
+			if got != rec {
+				t.Fatalf("%v/%v: bank escape mutated the record", c.edge, layout)
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 // Package mesh implements the computational mesh substrate of the neutral
 // mini-app: a two-dimensional structured grid of cell-centred mass
-// densities with reflective boundary conditions on all four edges.
+// densities with per-edge boundary conditions (reflective by default, as in
+// the paper; optionally vacuum, through which particles leak out).
 //
 // The paper (§IV-C) deliberately chooses a simple structured geometry so the
 // study exposes issues independent of geometric complexity: facet
@@ -14,13 +15,87 @@ import (
 	"fmt"
 )
 
+// BC is a boundary condition on one edge of the domain.
+type BC uint8
+
+const (
+	// Reflective edges bounce particles back into the domain, conserving
+	// the population — the paper's only boundary condition (§IV-C).
+	Reflective BC = iota
+	// Vacuum edges let particles escape: a history crossing one ends and
+	// its weight-energy is recorded as leakage instead of deposition.
+	Vacuum
+)
+
+// String names the boundary condition as used in scene files.
+func (b BC) String() string {
+	switch b {
+	case Reflective:
+		return "reflective"
+	case Vacuum:
+		return "vacuum"
+	default:
+		return fmt.Sprintf("BC(%d)", uint8(b))
+	}
+}
+
+// ParseBC converts a scene-file name to a BC; the empty string is the
+// reflective default.
+func ParseBC(s string) (BC, error) {
+	switch s {
+	case "", "reflective":
+		return Reflective, nil
+	case "vacuum":
+		return Vacuum, nil
+	default:
+		return 0, fmt.Errorf("mesh: unknown boundary condition %q (want reflective or vacuum)", s)
+	}
+}
+
+// Edge identifies one of the four domain edges.
+type Edge int
+
+const (
+	EdgeXLo  Edge = iota // x = 0
+	EdgeXHi              // x = Width
+	EdgeYLo              // y = 0
+	EdgeYHi              // y = Height
+	NumEdges = 4
+)
+
+// String names the edge as used in scene files and leakage reports.
+func (e Edge) String() string {
+	switch e {
+	case EdgeXLo:
+		return "x-lo"
+	case EdgeXHi:
+		return "x-hi"
+	case EdgeYLo:
+		return "y-lo"
+	case EdgeYHi:
+		return "y-hi"
+	default:
+		return fmt.Sprintf("Edge(%d)", int(e))
+	}
+}
+
+// EdgeOf maps a facet crossing's geometry — the axis (0 = x, 1 = y) and the
+// direction of cell transition along it (±1) — to the domain edge the
+// particle would exit through. Branch-free so the facet handlers stay
+// within the compiler's inlining budget.
+func EdgeOf(axis, dir int) Edge {
+	return Edge(axis<<1 | ((dir + 1) >> 1))
+}
+
 // Mesh is a uniform 2D structured grid over [0, Width) x [0, Height) with
-// NX x NY cells and a cell-centred mass density field in kg/m^3.
+// NX x NY cells, a cell-centred mass density field in kg/m^3, and a boundary
+// condition per domain edge.
 type Mesh struct {
 	NX, NY        int
 	Width, Height float64 // physical extent in metres
 	DX, DY        float64 // cell pitch in metres
 	density       []float64
+	bc            [NumEdges]BC // all Reflective unless SetEdgeBC says otherwise
 }
 
 // New allocates a mesh with every cell set to the given density.
@@ -51,6 +126,23 @@ func New(nx, ny int, width, height, density float64) (*Mesh, error) {
 
 // NumCells reports the total cell count.
 func (m *Mesh) NumCells() int { return m.NX * m.NY }
+
+// EdgeBC reports the boundary condition on one domain edge.
+func (m *Mesh) EdgeBC(e Edge) BC { return m.bc[e] }
+
+// SetEdgeBC sets the boundary condition on one domain edge.
+func (m *Mesh) SetEdgeBC(e Edge, bc BC) { m.bc[e] = bc }
+
+// HasVacuum reports whether any edge is a vacuum boundary — whether the run
+// can leak particles at all.
+func (m *Mesh) HasVacuum() bool {
+	for _, bc := range m.bc {
+		if bc == Vacuum {
+			return true
+		}
+	}
+	return false
+}
 
 // Index maps (cx, cy) cell coordinates to the flat cell index.
 func (m *Mesh) Index(cx, cy int) int { return cy*m.NX + cx }
@@ -109,6 +201,43 @@ func (m *Mesh) SetRegion(cx0, cy0, cx1, cy1 int, rho float64) {
 			row[cx] = rho
 		}
 	}
+}
+
+// paintEps is the facet-snapping tolerance of PaintRegion, in cell units: a
+// physical coordinate within this distance below a facet is treated as lying
+// on it. Region bounds are usually computed in floating point (a third of the
+// extent, say), so an exact-facet bound can land an ulp short of the facet;
+// without the snap that cell-sized error would move a whole row of cells.
+const paintEps = 1e-9
+
+// paintCell maps a physical coordinate to a cell index for region painting:
+// floor with the facet snap, clamped into [0, limit] while still a float so
+// an oversized bound can never overflow the int conversion (a huge finite
+// coordinate must clamp to the domain edge, not wrap negative and silently
+// drop the region). The same mapping serves region starts (inclusive) and
+// ends (exclusive) because region bounds are facet-aligned half-open
+// intervals.
+func paintCell(v, pitch float64, limit int) int {
+	c := v/pitch + paintEps
+	if !(c > 0) { // negative, or NaN from a NaN bound
+		return 0
+	}
+	if c > float64(limit) {
+		return limit
+	}
+	return int(c)
+}
+
+// PaintRegion fills the cells covered by the physical axis-aligned box
+// [x0,x1) x [y0,y1) with the given density, clamping the box to the domain.
+// Each bound floors to a cell index — cx0 = floor(x0/pitch) inclusive,
+// cx1 = floor(x1/pitch) exclusive, after the 1e-9-cell upward facet snap —
+// so facet-aligned bounds paint exactly the cells between them, and a bound
+// in a cell's interior splits that cell to the region containing its low
+// facet.
+func (m *Mesh) PaintRegion(x0, y0, x1, y1, rho float64) {
+	m.SetRegion(paintCell(x0, m.DX, m.NX), paintCell(y0, m.DY, m.NY),
+		paintCell(x1, m.DX, m.NX), paintCell(y1, m.DY, m.NY), rho)
 }
 
 // FacetX returns the x coordinate of the facet between cell columns cx-1 and

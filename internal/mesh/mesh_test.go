@@ -114,44 +114,142 @@ func TestSingleCellMesh(t *testing.T) {
 	}
 }
 
-func TestBuildProblems(t *testing.T) {
-	for _, p := range []Problem{Stream, Scatter, CSP} {
-		m, spec, err := Build(p, 120, 120)
+// TestCellOfBoundaryClampProperty is the property test for CellOf's
+// boundary clamping: any position — interior, exactly on a facet, exactly on
+// an edge or corner, or outside the domain — must map to an in-range cell,
+// and positions strictly inside a cell must map to that cell, on non-square
+// meshes too.
+func TestCellOfBoundaryClampProperty(t *testing.T) {
+	shapes := []struct {
+		nx, ny int
+		w, h   float64
+	}{
+		{16, 16, 2.5, 2.5},
+		{7, 31, 1.75, 9.3},   // non-square cells, non-square counts
+		{100, 3, 2.5, 0.125}, // extreme aspect ratio
+		{1, 1, 1, 1},
+	}
+	for _, sh := range shapes {
+		m, err := New(sh.nx, sh.ny, sh.w, sh.h, 1)
 		if err != nil {
-			t.Fatalf("%v: %v", p, err)
+			t.Fatal(err)
 		}
-		if spec.Problem != p {
-			t.Fatalf("%v: spec problem mismatch", p)
+		inRange := func(x, y float64) bool {
+			cx, cy := m.CellOf(x, y)
+			return cx >= 0 && cx < m.NX && cy >= 0 && cy < m.NY
 		}
-		sb := spec.Source
-		if sb.X0 >= sb.X1 || sb.Y0 >= sb.Y1 {
-			t.Fatalf("%v: degenerate source box %+v", p, sb)
-		}
-		if sb.X0 < 0 || sb.X1 > Extent || sb.Y0 < 0 || sb.Y1 > Extent {
-			t.Fatalf("%v: source box %+v outside domain", p, sb)
-		}
-		switch p {
-		case Stream:
-			if m.Density(0, 0) != VacuumDensity || m.Density(60, 60) != VacuumDensity {
-				t.Errorf("stream mesh not homogeneous vacuum")
-			}
-		case Scatter:
-			if m.Density(0, 0) != DenseDensity || m.Density(60, 60) != DenseDensity {
-				t.Errorf("scatter mesh not homogeneous dense")
-			}
-		case CSP:
-			if m.Density(60, 60) != DenseDensity {
-				t.Errorf("csp centre square missing")
-			}
-			if m.Density(0, 0) != VacuumDensity || m.Density(119, 119) != VacuumDensity {
-				t.Errorf("csp corners not vacuum")
-			}
-			// Source must be in the bottom-left vacuum region.
-			cx, cy := m.CellOf(sb.X0, sb.Y0)
-			if m.Density(cx, cy) != VacuumDensity {
-				t.Errorf("csp source sits in dense region")
+		// Every facet coordinate, exactly: interior facets, the domain
+		// edges, and every corner pairing.
+		for cx := 0; cx <= m.NX; cx++ {
+			for cy := 0; cy <= m.NY; cy++ {
+				if !inRange(m.FacetX(cx), m.FacetY(cy)) {
+					t.Fatalf("%dx%d: CellOf on facet (%d,%d) out of range", sh.nx, sh.ny, cx, cy)
+				}
 			}
 		}
+		// Positions exactly on the far boundary clamp to the last cell.
+		if cx, cy := m.CellOf(sh.w, sh.h); cx != m.NX-1 || cy != m.NY-1 {
+			t.Fatalf("%dx%d: CellOf(W,H) = (%d,%d), want (%d,%d)", sh.nx, sh.ny, cx, cy, m.NX-1, m.NY-1)
+		}
+		// Random positions, including out-of-domain ones, never escape.
+		f := func(fx, fy float64) bool {
+			if math.IsNaN(fx) || math.IsNaN(fy) {
+				return true
+			}
+			return inRange(fx, fy)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("%dx%d: %v", sh.nx, sh.ny, err)
+		}
+		// Strict interiors round-trip: the centre of every cell maps back.
+		for cx := 0; cx < m.NX; cx++ {
+			for cy := 0; cy < m.NY; cy++ {
+				x := (float64(cx) + 0.5) * m.DX
+				y := (float64(cy) + 0.5) * m.DY
+				if gx, gy := m.CellOf(x, y); gx != cx || gy != cy {
+					t.Fatalf("%dx%d: centre of (%d,%d) mapped to (%d,%d)", sh.nx, sh.ny, cx, cy, gx, gy)
+				}
+			}
+		}
+	}
+}
+
+func TestPaintRegion(t *testing.T) {
+	m, _ := New(9, 9, 1, 1, 0.5)
+	// Physical thirds paint the same cells as the integer-division region
+	// the old problem builder used — the facet snap absorbs the float
+	// error in 1/3.
+	m.PaintRegion(1.0/3, 1.0/3, 2.0/3, 2.0/3, 100)
+	for cy := 0; cy < 9; cy++ {
+		for cx := 0; cx < 9; cx++ {
+			want := 0.5
+			if cx >= 3 && cx < 6 && cy >= 3 && cy < 6 {
+				want = 100
+			}
+			if got := m.Density(cx, cy); got != want {
+				t.Fatalf("density(%d,%d) = %v, want %v", cx, cy, got, want)
+			}
+		}
+	}
+	// Full-domain paint covers every cell; out-of-domain bounds clamp.
+	m.PaintRegion(-1, -1, 5, 5, 7)
+	if m.Density(0, 0) != 7 || m.Density(8, 8) != 7 {
+		t.Error("full-domain PaintRegion missed cells")
+	}
+	// Bounds far beyond float→int range clamp to the domain instead of
+	// overflowing the conversion and silently dropping the region.
+	m.PaintRegion(0.5, 0, 1e300, 2.5, 3)
+	if m.Density(8, 8) != 3 || m.Density(0, 0) == 3 {
+		t.Error("oversized region bound not clamped to the domain")
+	}
+	m.PaintRegion(-1e300, -1e300, 1e300, 1e300, 9)
+	for cy := 0; cy < 9; cy++ {
+		for cx := 0; cx < 9; cx++ {
+			if m.Density(cx, cy) != 9 {
+				t.Fatalf("infinite-ish region missed cell (%d,%d)", cx, cy)
+			}
+		}
+	}
+}
+
+func TestEdgeBCs(t *testing.T) {
+	m, _ := New(4, 4, 1, 1, 1)
+	if m.HasVacuum() {
+		t.Error("fresh mesh reports vacuum edges")
+	}
+	for e := Edge(0); e < NumEdges; e++ {
+		if m.EdgeBC(e) != Reflective {
+			t.Errorf("edge %v default BC = %v, want reflective", e, m.EdgeBC(e))
+		}
+	}
+	m.SetEdgeBC(EdgeXHi, Vacuum)
+	if m.EdgeBC(EdgeXHi) != Vacuum || m.EdgeBC(EdgeXLo) != Reflective {
+		t.Error("SetEdgeBC leaked to another edge")
+	}
+	if !m.HasVacuum() {
+		t.Error("HasVacuum missed the vacuum edge")
+	}
+	// EdgeOf covers the four (axis, dir) combinations.
+	for _, c := range []struct {
+		axis, dir int
+		want      Edge
+	}{{0, -1, EdgeXLo}, {0, 1, EdgeXHi}, {1, -1, EdgeYLo}, {1, 1, EdgeYHi}} {
+		if got := EdgeOf(c.axis, c.dir); got != c.want {
+			t.Errorf("EdgeOf(%d,%d) = %v, want %v", c.axis, c.dir, got, c.want)
+		}
+	}
+	// BC name round trip, empty-string default included.
+	for _, bc := range []BC{Reflective, Vacuum} {
+		back, err := ParseBC(bc.String())
+		if err != nil || back != bc {
+			t.Errorf("BC round trip %v failed: %v %v", bc, back, err)
+		}
+	}
+	if bc, err := ParseBC(""); err != nil || bc != Reflective {
+		t.Error("empty BC name should default to reflective")
+	}
+	if _, err := ParseBC("periodic"); err == nil {
+		t.Error("unknown BC accepted")
 	}
 }
 

@@ -73,40 +73,7 @@ type SourceBox struct {
 	X0, X1, Y0, Y1 float64
 }
 
-// Spec describes a fully configured test problem.
-type Spec struct {
-	Problem Problem
-	Source  SourceBox
-}
-
-// Build constructs the density mesh and source region for a problem at the
-// given resolution. All three problems share the domain extent; resolution
-// only changes cell pitch, preserving the physics while letting tests run
-// at reduced scale.
-func Build(p Problem, nx, ny int) (*Mesh, Spec, error) {
-	m, err := New(nx, ny, Extent, Extent, VacuumDensity)
-	if err != nil {
-		return nil, Spec{}, err
-	}
-	spec := Spec{Problem: p}
-	switch p {
-	case Stream:
-		// Particles start in the centre of the space (paper Fig 2,
-		// left): a small box one-twentieth of the extent.
-		c, h := Extent/2, Extent/40
-		spec.Source = SourceBox{c - h, c + h, c - h, c + h}
-	case Scatter:
-		m.SetRegion(0, 0, nx, ny, DenseDensity)
-		c, h := Extent/2, Extent/40
-		spec.Source = SourceBox{c - h, c + h, c - h, c + h}
-	case CSP:
-		// Dense square occupying the central ninth of the domain.
-		m.SetRegion(nx/3, ny/3, 2*nx/3, 2*ny/3, DenseDensity)
-		// Particles start in the bottom left of the mesh.
-		h := Extent / 10
-		spec.Source = SourceBox{0, h, 0, h}
-	default:
-		return nil, Spec{}, fmt.Errorf("mesh: unknown problem %v", p)
-	}
-	return m, spec, nil
-}
+// The mesh and source geometry of the three problems is no longer built
+// here: internal/scene expresses each as a declarative built-in preset
+// (scene.Preset) alongside arbitrary user scenes, and the enum survives only
+// as the preset-selection vocabulary.

@@ -414,7 +414,27 @@ func (b *Bank) GatherStatus(dst []int32, s Status) []int32 {
 	return dst
 }
 
-// CountStatus tallies particles by status.
+// Escape terminates slot i at a vacuum boundary: the status becomes Escaped
+// and the weight is zeroed so the population audits exclude it. It returns
+// the weight and weight-energy (weight-eV) the history carried out of the
+// domain — the per-edge leakage contribution.
+func (b *Bank) Escape(i int) (weight, weightEnergy float64) {
+	if b.layout == AoS {
+		p := &b.aos[i]
+		weight, weightEnergy = p.Weight, p.Weight*p.Energy
+		p.Weight = 0
+		p.Status = Escaped
+		return
+	}
+	weight, weightEnergy = b.weight[i], b.weight[i]*b.energy[i]
+	b.weight[i] = 0
+	b.status[i] = Escaped
+	return
+}
+
+// CountStatus tallies particles by status. Escaped particles count as dead:
+// both are terminated histories, distinguished only by where their
+// weight-energy went (leakage versus deposition).
 func (b *Bank) CountStatus() (alive, census, dead int) {
 	for i := 0; i < b.n; i++ {
 		switch b.StatusOf(i) {
@@ -422,7 +442,7 @@ func (b *Bank) CountStatus() (alive, census, dead int) {
 			alive++
 		case Census:
 			census++
-		case Dead:
+		case Dead, Escaped:
 			dead++
 		}
 	}
@@ -447,21 +467,21 @@ func (b *Bank) TotalWeight() float64 {
 	return sum
 }
 
-// TotalEnergy sums weight-scaled kinetic energy across the bank, in
-// weight-eV (energy conservation audits). Like TotalWeight, it reads only
-// the fields it needs in either layout.
+// TotalEnergy sums weight-scaled kinetic energy across the in-flight bank
+// (Alive and Census), in weight-eV (energy conservation audits). Like
+// TotalWeight, it reads only the fields it needs in either layout.
 func (b *Bank) TotalEnergy() float64 {
 	var sum float64
 	if b.layout == SoA {
 		for i := range b.status {
-			if b.status[i] != Dead {
+			if b.status[i] == Alive || b.status[i] == Census {
 				sum += b.weight[i] * b.energy[i]
 			}
 		}
 		return sum
 	}
 	for i := range b.aos {
-		if p := &b.aos[i]; p.Status != Dead {
+		if p := &b.aos[i]; p.Status == Alive || p.Status == Census {
 			sum += p.Weight * p.Energy
 		}
 	}

@@ -28,6 +28,9 @@ const (
 	// Dead particles were terminated by the weight/energy cutoffs after
 	// absorption reduced them below interest.
 	Dead
+	// Escaped particles left the domain through a vacuum boundary; their
+	// weight-energy is accounted as leakage, not deposition.
+	Escaped
 )
 
 // String names the status.
@@ -39,6 +42,8 @@ func (s Status) String() string {
 		return "census"
 	case Dead:
 		return "dead"
+	case Escaped:
+		return "escaped"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}

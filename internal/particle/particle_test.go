@@ -91,15 +91,16 @@ func TestCountStatus(t *testing.T) {
 }
 
 func TestPopulateDeterministicAcrossLayouts(t *testing.T) {
-	m, spec, err := mesh.Build(mesh.CSP, 64, 64)
+	m, err := mesh.New(64, 64, mesh.Extent, mesh.Extent, mesh.VacuumDensity)
 	if err != nil {
 		t.Fatal(err)
 	}
+	src := mesh.SourceBox{X0: 0, X1: mesh.Extent / 10, Y0: 0, Y1: mesh.Extent / 10}
 	const n = 500
 	a := NewBank(AoS, n)
 	s := NewBank(SoA, n)
-	Populate(a, m, spec.Source, 1e-7, 42)
-	Populate(s, m, spec.Source, 1e-7, 42)
+	Populate(a, m, src, 1e-7, 42)
+	Populate(s, m, src, 1e-7, 42)
 	var pa, ps Particle
 	for i := 0; i < n; i++ {
 		a.Load(i, &pa)
@@ -111,18 +112,20 @@ func TestPopulateDeterministicAcrossLayouts(t *testing.T) {
 }
 
 func TestPopulateInvariants(t *testing.T) {
-	m, spec, err := mesh.Build(mesh.Stream, 128, 128)
+	m, err := mesh.New(128, 128, mesh.Extent, mesh.Extent, mesh.VacuumDensity)
 	if err != nil {
 		t.Fatal(err)
 	}
+	c, h := mesh.Extent/2, mesh.Extent/40
+	src := mesh.SourceBox{X0: c - h, X1: c + h, Y0: c - h, Y1: c + h}
 	const n = 2000
 	b := NewBank(AoS, n)
-	Populate(b, m, spec.Source, 1e-7, 7)
+	Populate(b, m, src, 1e-7, 7)
 	var p Particle
 	for i := 0; i < n; i++ {
 		b.Load(i, &p)
-		if p.X < spec.Source.X0 || p.X >= spec.Source.X1 ||
-			p.Y < spec.Source.Y0 || p.Y >= spec.Source.Y1 {
+		if p.X < src.X0 || p.X >= src.X1 ||
+			p.Y < src.Y0 || p.Y >= src.Y1 {
 			t.Fatalf("particle %d born outside source box: (%v, %v)", i, p.X, p.Y)
 		}
 		if r := p.UX*p.UX + p.UY*p.UY; math.Abs(r-1) > 1e-12 {
@@ -151,11 +154,12 @@ func TestPopulateInvariants(t *testing.T) {
 }
 
 func TestPopulateSeedSensitivity(t *testing.T) {
-	m, spec, _ := mesh.Build(mesh.CSP, 64, 64)
+	m, _ := mesh.New(64, 64, mesh.Extent, mesh.Extent, mesh.VacuumDensity)
+	src := mesh.SourceBox{X0: 0, X1: mesh.Extent / 10, Y0: 0, Y1: mesh.Extent / 10}
 	a := NewBank(AoS, 100)
 	b := NewBank(AoS, 100)
-	Populate(a, m, spec.Source, 1e-7, 1)
-	Populate(b, m, spec.Source, 1e-7, 2)
+	Populate(a, m, src, 1e-7, 1)
+	Populate(b, m, src, 1e-7, 2)
 	var pa, pb Particle
 	same := 0
 	for i := 0; i < 100; i++ {
@@ -239,7 +243,7 @@ func TestBytesPerParticleMatchesFieldSet(t *testing.T) {
 // TotalEnergy paths against the one-Load-per-particle reference they
 // replaced, with a population that includes dead particles.
 func TestTotalsFieldDirectFastPaths(t *testing.T) {
-	m, _, err := mesh.Build(mesh.CSP, 64, 64)
+	m, err := mesh.New(64, 64, mesh.Extent, mesh.Extent, mesh.VacuumDensity)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,62 @@
+package scene
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+)
+
+// The paper's three test problems (§IV-B), re-expressed as declarative
+// scenes. Every geometric constant is computed with exactly the expressions
+// the old hardcoded builder used, so a preset builds a bit-identical density
+// mesh and source region at any resolution — which is what keeps the golden
+// physics vectors pinned across the refactor.
+var presets = func() map[mesh.Problem]*Scene {
+	const (
+		w = mesh.Extent
+		c = mesh.Extent / 2
+		h = mesh.Extent / 40
+	)
+	centreSource := Source{X0: c - h, X1: c + h, Y0: c - h, Y1: c + h}
+	vacuum := Material{Name: "near-vacuum", Density: mesh.VacuumDensity}
+	dense := Material{Name: "dense", Density: mesh.DenseDensity}
+
+	m := map[mesh.Problem]*Scene{
+		mesh.Stream: {
+			Name:      "stream",
+			Materials: []Material{vacuum},
+			Sources:   []Source{centreSource},
+		},
+		mesh.Scatter: {
+			Name:      "scatter",
+			Materials: []Material{dense},
+			Sources:   []Source{centreSource},
+		},
+		mesh.CSP: {
+			Name:      "csp",
+			Materials: []Material{vacuum, dense},
+			Regions: []Region{
+				// The dense square occupying the central ninth.
+				{Material: "dense", X0: w / 3, X1: 2 * w / 3, Y0: w / 3, Y1: 2 * w / 3},
+			},
+			// Particles start in the bottom left of the mesh.
+			Sources: []Source{{X0: 0, X1: w / 10, Y0: 0, Y1: w / 10}},
+		},
+	}
+	for p, s := range m {
+		if err := s.Validate(); err != nil {
+			panic(fmt.Sprintf("scene: preset %v invalid: %v", p, err))
+		}
+	}
+	return m
+}()
+
+// Preset returns the built-in scene of one of the paper's test problems.
+// The returned scene is validated, shared and immutable — never mutate it.
+func Preset(p mesh.Problem) (*Scene, error) {
+	s, ok := presets[p]
+	if !ok {
+		return nil, fmt.Errorf("scene: unknown problem preset %v", p)
+	}
+	return s, nil
+}

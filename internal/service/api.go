@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/particle"
+	"repro/internal/scene"
 	"repro/internal/stats"
 	"repro/internal/tally"
 )
@@ -17,27 +18,31 @@ import (
 // Spec is the wire-format run request: the JSON mirror of core.Config with
 // string-named enums and problem-relative defaults. Zero-valued fields
 // inherit the problem default, so {"problem":"csp"} is a complete request.
+// Scene, when present, is a full inline problem description and makes
+// Problem optional; two submissions with physically equivalent scenes share
+// one fingerprint, so they hit the same cache entry and checkpoint.
 type Spec struct {
-	Problem      string      `json:"problem"`
-	Paper        bool        `json:"paper,omitempty"` // full paper scale baseline
-	NX           int         `json:"nx,omitempty"`
-	NY           int         `json:"ny,omitempty"`
-	Particles    int         `json:"particles,omitempty"`
-	Timestep     float64     `json:"timestep,omitempty"`
-	Steps        int         `json:"steps,omitempty"`
-	Seed         *uint64     `json:"seed,omitempty"` // pointer: 0 is a valid seed
-	Threads      int         `json:"threads,omitempty"`
-	Scheme       string      `json:"scheme,omitempty"`
-	Schedule     string      `json:"schedule,omitempty"`
-	Chunk        int         `json:"chunk,omitempty"`
-	Layout       string      `json:"layout,omitempty"`
-	Tally        string      `json:"tally,omitempty"`
-	MergePerStep bool        `json:"merge_per_step,omitempty"`
-	XSPoints     int         `json:"xs_points,omitempty"`
-	WeightCutoff float64     `json:"weight_cutoff,omitempty"`
-	EnergyCutoff float64     `json:"energy_cutoff,omitempty"`
-	KeepCells    bool        `json:"keep_cells,omitempty"`
-	Source       *SourceSpec `json:"source,omitempty"`
+	Problem      string       `json:"problem,omitempty"`
+	Scene        *scene.Scene `json:"scene,omitempty"`
+	Paper        bool         `json:"paper,omitempty"` // full paper scale baseline
+	NX           int          `json:"nx,omitempty"`
+	NY           int          `json:"ny,omitempty"`
+	Particles    int          `json:"particles,omitempty"`
+	Timestep     float64      `json:"timestep,omitempty"`
+	Steps        int          `json:"steps,omitempty"`
+	Seed         *uint64      `json:"seed,omitempty"` // pointer: 0 is a valid seed
+	Threads      int          `json:"threads,omitempty"`
+	Scheme       string       `json:"scheme,omitempty"`
+	Schedule     string       `json:"schedule,omitempty"`
+	Chunk        int          `json:"chunk,omitempty"`
+	Layout       string       `json:"layout,omitempty"`
+	Tally        string       `json:"tally,omitempty"`
+	MergePerStep bool         `json:"merge_per_step,omitempty"`
+	XSPoints     int          `json:"xs_points,omitempty"`
+	WeightCutoff float64      `json:"weight_cutoff,omitempty"`
+	EnergyCutoff float64      `json:"energy_cutoff,omitempty"`
+	KeepCells    bool         `json:"keep_cells,omitempty"`
+	Source       *SourceSpec  `json:"source,omitempty"`
 	// Replicas > 1 turns the submission into an ensemble job: the
 	// replicas fan out across the worker pool and the result carries
 	// merged per-cell uncertainty statistics.
@@ -65,11 +70,22 @@ type SourceSpec struct {
 
 // Config resolves the spec to a validated-shape core.Config (final
 // validation happens at Submit, which also applies the engine thread
-// budget).
+// budget). A spec names a problem preset, carries an inline scene, or both
+// — in which case the scene wins, exactly as in core.Config.
 func (s Spec) Config() (core.Config, error) {
-	p, err := mesh.ParseProblem(s.Problem)
-	if err != nil {
-		return core.Config{}, err
+	var p mesh.Problem
+	var err error
+	if s.Problem != "" {
+		if p, err = mesh.ParseProblem(s.Problem); err != nil {
+			return core.Config{}, err
+		}
+	} else if s.Scene == nil {
+		return core.Config{}, fmt.Errorf("service: spec names neither a problem nor a scene")
+	}
+	if s.Scene != nil {
+		if err := s.Scene.Validate(); err != nil {
+			return core.Config{}, err
+		}
 	}
 	// Zero means "problem default", so a negative override is always a
 	// client error rather than something to fall back from silently.
@@ -88,6 +104,7 @@ func (s Spec) Config() (core.Config, error) {
 	if s.Paper {
 		cfg = core.Paper(p)
 	}
+	cfg.Scene = s.Scene
 	if s.NX > 0 {
 		cfg.NX = s.NX
 		cfg.NY = s.NX
@@ -235,9 +252,42 @@ type ResultView struct {
 	ConservationError float64   `json:"conservation_error"`
 	LoadImbalance     float64   `json:"load_imbalance"`
 	Cells             []float64 `json:"cells,omitempty"`
+	// Escapes and Leakage report vacuum-boundary losses; both absent on
+	// all-reflective scenes.
+	Escapes uint64       `json:"escapes,omitempty"`
+	Leakage *LeakageView `json:"leakage,omitempty"`
 	// Ensemble carries the merged uncertainty statistics of an ensemble
 	// job; absent for single runs.
 	Ensemble *EnsembleView `json:"ensemble,omitempty"`
+}
+
+// LeakageView is the wire form of the per-edge vacuum losses, keyed by edge
+// name (x-lo, x-hi, y-lo, y-hi); edges that leaked nothing are omitted.
+type LeakageView struct {
+	// Weight is the escaped statistical weight per edge; Energy the
+	// escaped weight-energy in weight-eV.
+	Weight map[string]float64 `json:"weight"`
+	Energy map[string]float64 `json:"energy"`
+	// TotalEnergy sums Energy over the edges.
+	TotalEnergy float64 `json:"total_energy"`
+}
+
+func leakageViewOf(res *core.Result) *LeakageView {
+	if res.Counter.Escapes == 0 {
+		return nil
+	}
+	v := &LeakageView{
+		Weight:      map[string]float64{},
+		Energy:      map[string]float64{},
+		TotalEnergy: res.Leakage.TotalEnergy(),
+	}
+	for e := mesh.Edge(0); e < mesh.NumEdges; e++ {
+		if res.Leakage.Weight[e] != 0 || res.Leakage.Energy[e] != 0 {
+			v.Weight[e.String()] = res.Leakage.Weight[e]
+			v.Energy[e.String()] = res.Leakage.Energy[e]
+		}
+	}
+	return v
 }
 
 // EnsembleView is the wire representation of merged ensemble statistics.
@@ -292,6 +342,8 @@ func resultViewOf(res *core.Result) ResultView {
 		ConservationError: res.Conservation.RelativeError,
 		LoadImbalance:     res.LoadImbalance(),
 		Cells:             res.Cells,
+		Escapes:           res.Counter.Escapes,
+		Leakage:           leakageViewOf(res),
 	}
 }
 
@@ -345,6 +397,14 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// applyDefaultScene fills a submission that names neither a problem nor an
+// inline scene with the engine's default scene, when one is configured.
+func (s *Server) applyDefaultScene(spec *Spec) {
+	if spec.Problem == "" && spec.Scene == nil {
+		spec.Scene = s.engine.DefaultScene()
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -353,6 +413,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
 		return
 	}
+	s.applyDefaultScene(&spec)
 	cfg, err := spec.Config()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -426,6 +487,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	cfgIdx := make([]int, 0, len(req.Specs))
 	resp := BatchResponse{Items: make([]BatchItemView, len(req.Specs))}
 	for i, spec := range req.Specs {
+		s.applyDefaultScene(&spec)
 		cfg, err := spec.Config()
 		if err != nil {
 			resp.Items[i].Error = err.Error()

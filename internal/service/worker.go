@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/scene"
 	"repro/internal/stats"
 	"repro/internal/tally"
 )
@@ -80,13 +81,13 @@ type Job struct {
 	// replicas and ensemble are the per-replica history and merged
 	// statistics of an ensemble job (Config.Replicas > 1); empty/nil
 	// otherwise.
-	replicas []ReplicaView
-	ensemble *stats.Ensemble
-	result   *core.Result
-	err      error
-	submitted   time.Time
-	started     time.Time
-	finished    time.Time
+	replicas  []ReplicaView
+	ensemble  *stats.Ensemble
+	result    *core.Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // Status is an immutable snapshot of a job.
@@ -276,6 +277,11 @@ type Options struct {
 	// CheckpointEvery writes a snapshot every n completed steps. 0 means
 	// every step.
 	CheckpointEvery int
+	// DefaultScene, when non-nil, is the scene applied by the HTTP layer
+	// to submissions that name neither a problem nor an inline scene —
+	// how cmd/neutral-serve's -scene flag sets a server-wide default
+	// problem. It must be validated (scene.LoadFile and Parse validate).
+	DefaultScene *scene.Scene
 }
 
 func (o Options) withDefaults() Options {
@@ -741,6 +747,10 @@ func (e *Engine) Stats() Stats {
 
 // Cache exposes the result cache (read-mostly; shared with the API layer).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// DefaultScene reports the engine's default scene for problem-less
+// submissions; nil when none was configured.
+func (e *Engine) DefaultScene() *scene.Scene { return e.opts.DefaultScene }
 
 // Close stops the engine: admissions end, the backlog and in-flight runs
 // are canceled, and Close returns once every worker has exited. All

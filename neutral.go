@@ -7,6 +7,10 @@
 //   - Config / Run execute the mini-app with either on-node
 //     parallelisation scheme (Over Particles or Over Events) on goroutine
 //     worker pools, with the paper's scheduling, layout and tally options;
+//   - Scene / LoadScene describe arbitrary problems declaratively —
+//     materials, painted density regions, weighted jittered sources,
+//     per-edge reflective/vacuum boundaries — with the paper's three test
+//     problems as built-in presets (PresetScene);
 //   - PredictDevices prices a problem on the analytic models of the
 //     paper's five evaluation devices (Broadwell, KNL, POWER8, K20X, P100);
 //   - Experiments regenerates every table and figure in the paper's
@@ -32,6 +36,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mesh"
 	"repro/internal/particle"
+	"repro/internal/scene"
 	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/tally"
@@ -61,6 +66,8 @@ type (
 	Particle = particle.Particle
 	// Bank is the particle store in either layout.
 	Bank = particle.Bank
+	// ParticleLayout selects the bank memory layout (Config.Layout).
+	ParticleLayout = particle.Layout
 
 	// Progress is a point-in-time completion report delivered to the
 	// ProgressFunc passed to RunCtx.
@@ -84,6 +91,26 @@ type (
 	// JobReplicaView is one completed replica of an ensemble job, as
 	// streamed over the SSE "replica" events and the /replicas endpoint.
 	JobReplicaView = service.ReplicaView
+
+	// Scene is a declarative problem description: named materials,
+	// painted density regions, weighted jittered sources and per-edge
+	// boundary conditions. Set it on Config.Scene (nil selects the
+	// Problem preset); load one from JSON with LoadScene/ParseScene.
+	Scene = scene.Scene
+	// SceneMaterial names a mass density for scene regions.
+	SceneMaterial = scene.Material
+	// SceneRegion paints a physical box with a named material.
+	SceneRegion = scene.Region
+	// SceneSource is one weighted particle birth region with optional
+	// energy/weight/birth-time jitter.
+	SceneSource = scene.Source
+	// SceneBoundaries sets the per-edge boundary conditions
+	// ("reflective" or "vacuum").
+	SceneBoundaries = scene.Boundaries
+	// Leakage is the per-edge vacuum-boundary loss tally on Result.
+	Leakage = core.Leakage
+	// Edge identifies one of the four domain edges (leakage indexing).
+	Edge = mesh.Edge
 
 	// WeightWindow configures weight-based population control: per-cell
 	// Russian roulette and splitting at timestep boundaries (set it on
@@ -129,12 +156,45 @@ const (
 	OverEvents    = core.OverEvents
 )
 
+// Particle layout constants.
+const (
+	LayoutAoS = particle.AoS
+	LayoutSoA = particle.SoA
+)
+
 // Problem constants.
 const (
 	Stream  = mesh.Stream
 	Scatter = mesh.Scatter
 	CSP     = mesh.CSP
 )
+
+// Domain edge constants (Leakage indexing).
+const (
+	EdgeXLo = mesh.EdgeXLo
+	EdgeXHi = mesh.EdgeXHi
+	EdgeYLo = mesh.EdgeYLo
+	EdgeYHi = mesh.EdgeYHi
+)
+
+// LoadScene reads and validates a declarative JSON scene file; set the
+// result on Config.Scene.
+func LoadScene(path string) (*Scene, error) { return scene.LoadFile(path) }
+
+// ParseScene decodes and validates a JSON scene description.
+func ParseScene(data []byte) (*Scene, error) { return scene.Parse(data) }
+
+// PresetScene returns the built-in scene of a named paper problem
+// ("stream", "scatter" or "csp") — the declarative form of what Run
+// simulates when Config.Scene is nil. The returned scene is shared and
+// immutable.
+func PresetScene(problem string) (*Scene, error) {
+	p, err := mesh.ParseProblem(problem)
+	if err != nil {
+		return nil, err
+	}
+	return scene.Preset(p)
+}
 
 // Tally mode constants.
 const (

@@ -1,0 +1,154 @@
+package neutral
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// exampleScenes globs the shipped scene files; the suite below runs every
+// one of them, so adding a scene to examples/scenes/ automatically extends
+// the coverage.
+func exampleScenes(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob("examples/scenes/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected at least three shipped example scenes, found %v", paths)
+	}
+	return paths
+}
+
+// TestExampleScenesSchemeEquivalence is the shipped-scene acceptance
+// property: on every example scene, Over Particles and Over Events (both
+// layouts) produce identical physics — final banks bit for bit, event and
+// escape counters exactly, tallies and per-edge leakage to floating-point
+// tolerance — and the run conserves energy including leakage.
+func TestExampleScenesSchemeEquivalence(t *testing.T) {
+	for _, path := range exampleScenes(t) {
+		sc, err := LoadScene(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		base, err := DefaultConfig("csp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		base.Scene = sc
+		base.NX, base.NY = 96, 96
+		base.Particles = 300
+		base.Steps = 2
+		base.Threads = 2
+		base.KeepBank = true
+		base.KeepCells = true
+
+		ref := base
+		ref.Scheme = OverParticles
+		rop, err := Run(ref)
+		if err != nil {
+			t.Fatalf("%s over-particles: %v", path, err)
+		}
+		if rop.Conservation.RelativeError > 1e-9 {
+			t.Errorf("%s: conservation error %.3g", path, rop.Conservation.RelativeError)
+		}
+
+		for _, layout := range []struct {
+			name string
+			v    ParticleLayout
+		}{{"aos", LayoutAoS}, {"soa", LayoutSoA}} {
+			t.Run(fmt.Sprintf("%s/%s", filepath.Base(path), layout.name), func(t *testing.T) {
+				cfg := base
+				cfg.Scheme = OverEvents
+				cfg.Layout = layout.v
+				roe, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rop.Counter.TotalEvents() != roe.Counter.TotalEvents() ||
+					rop.Counter.Escapes != roe.Counter.Escapes ||
+					rop.Counter.Deaths != roe.Counter.Deaths ||
+					rop.Counter.RNGDraws != roe.Counter.RNGDraws {
+					t.Errorf("counters differ:\nop %+v\noe %+v", rop.Counter, roe.Counter)
+				}
+				if rop.TallyTotal != 0 || roe.TallyTotal != 0 {
+					if rel := math.Abs(rop.TallyTotal-roe.TallyTotal) / math.Max(rop.TallyTotal, roe.TallyTotal); rel > 1e-9 {
+						t.Errorf("tally totals differ by %.3g relative", rel)
+					}
+				}
+				for e := EdgeXLo; e <= EdgeYHi; e++ {
+					dw := math.Abs(rop.Leakage.Weight[e] - roe.Leakage.Weight[e])
+					if dw > 1e-9*(1+rop.Leakage.Weight[e]) {
+						t.Errorf("edge %v leaked weight differs: %g vs %g",
+							e, rop.Leakage.Weight[e], roe.Leakage.Weight[e])
+					}
+				}
+				var pw, pg Particle
+				for i := 0; i < rop.Bank.Len(); i++ {
+					rop.Bank.Load(i, &pw)
+					roe.Bank.Load(i, &pg)
+					if pw != pg {
+						t.Fatalf("particle %d differs:\nop %+v\noe %+v", i, pw, pg)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExampleScenesFacadeRoundTrip: every shipped scene loads through the
+// facade, fingerprints stably, and the vacuum scenes actually leak while
+// the closed ones conserve without leakage.
+func TestExampleScenesFacadeRoundTrip(t *testing.T) {
+	leaky := 0
+	for _, path := range exampleScenes(t) {
+		sc, err := LoadScene(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if sc.Name == "" {
+			t.Errorf("%s: shipped scene should be named", path)
+		}
+		cfg, err := DefaultConfig("csp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Scene = sc
+		cfg.NX, cfg.NY = 64, 64
+		cfg.Particles = 150
+		k1, cacheable := cfg.Fingerprint()
+		if !cacheable {
+			t.Errorf("%s: scene config reported uncacheable", path)
+		}
+		// Reload the file: the fingerprint must be stable across parses.
+		sc2, err := LoadScene(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg2 := cfg
+		cfg2.Scene = sc2
+		if k2, _ := cfg2.Fingerprint(); k2 != k1 {
+			t.Errorf("%s: reparsing the scene moved the fingerprint", path)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if res.Conservation.RelativeError > 1e-9 {
+			t.Errorf("%s: conservation error %.3g", path, res.Conservation.RelativeError)
+		}
+		if sc.HasVacuum() {
+			leaky++
+			if res.Counter.Escapes == 0 {
+				t.Errorf("%s: vacuum scene produced no escapes at this scale", path)
+			}
+		} else if res.Counter.Escapes != 0 || res.Leakage.TotalEnergy() != 0 {
+			t.Errorf("%s: reflective scene leaked", path)
+		}
+	}
+	if leaky == 0 {
+		t.Error("no shipped scene exercises vacuum boundaries")
+	}
+}
