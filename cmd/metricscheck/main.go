@@ -1,0 +1,32 @@
+// Command metricscheck validates Prometheus text exposition read from
+// stdin: the format must parse, and every metric family named on the
+// command line must be present with a TYPE line and at least one sample.
+// CI pipes a live /metrics scrape through it to fail the build on a
+// malformed exposition or a silently vanished core series.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | metricscheck neutral_jobs neutral_queue_depth
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck: read stdin:", err)
+		os.Exit(1)
+	}
+	if err := telemetry.CheckExposition(data, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: ok (%d bytes, %d required families present)\n",
+		len(data), len(os.Args[1:]))
+}

@@ -7,6 +7,7 @@
 //	neutral-bench -scale full           # paper-scale native runs (slow)
 //	neutral-bench -markdown -o EXPERIMENTS.md
 //	neutral-bench -json -o BENCH_ci.json  # machine-readable, for CI trending
+//	neutral-bench -metrics                # append harness telemetry snapshot
 package main
 
 import (
@@ -35,6 +36,7 @@ func run() error {
 		jsonOut    = flag.Bool("json", false, "emit one machine-readable JSON document instead of rendered tables")
 		outPath    = flag.String("o", "", "write output to a file instead of stdout")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		metrics    = flag.Bool("metrics", false, "append the harness telemetry snapshot (Prometheus text) after the tables")
 	)
 	flag.Parse()
 
@@ -99,9 +101,13 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "%-12s done in %v\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 	if *jsonOut {
+		report.Metrics = harness.MetricsSnapshot()
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(report)
+	}
+	if *metrics {
+		fmt.Fprint(out, harness.MetricsSnapshot())
 	}
 	return nil
 }
@@ -113,6 +119,10 @@ type jsonReport struct {
 	Generated string       `json:"generated"`
 	Scale     string       `json:"scale"`
 	Figures   []jsonFigure `json:"figures"`
+	// Metrics is the harness telemetry snapshot in Prometheus text
+	// exposition: native runs, cumulative solver wallclock, and solver
+	// event/work counters aggregated over every experiment above.
+	Metrics string `json:"metrics,omitempty"`
 }
 
 type jsonFigure struct {

@@ -12,6 +12,13 @@
 //	curl -s localhost:8080/v1/jobs/job-000001/result?wait=true
 //	curl -N localhost:8080/v1/jobs/job-000001/stream
 //
+// Observability:
+//
+//	curl -s localhost:8080/metrics                     # Prometheus text exposition
+//	curl -s localhost:8080/v1/jobs/job-000001/trace    # Chrome trace-event JSON
+//	neutral-serve -pprof                               # mounts /debug/pprof/*
+//	neutral-serve -log-json                            # JSON structured request logs
+//
 // The server drains gracefully on SIGINT/SIGTERM: in-flight HTTP requests
 // get a shutdown window, then every queued and running simulation is
 // canceled through its context.
@@ -22,13 +29,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/scene"
 	"repro/internal/service"
 )
@@ -51,8 +59,13 @@ func run() error {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint every n completed steps (0 = 1)")
 		sceneFile  = flag.String("scene", "", "JSON scene file served as the default problem for submissions that name neither a problem nor an inline scene")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown window")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt text")
+		heartbeat  = flag.Duration("sse-heartbeat", 0, "SSE keepalive comment interval (0 = 15s)")
 	)
 	flag.Parse()
+
+	logger := cliutil.NewLogger(os.Stderr, *logJSON)
 
 	// Fail fast on an unloadable default scene rather than rejecting every
 	// problem-less submission at runtime.
@@ -88,8 +101,12 @@ func run() error {
 		DefaultScene:    defaultScene,
 	})
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: logRequests(service.NewServer(engine)),
+		Addr: *addr,
+		Handler: service.NewServerWith(engine, service.ServerOptions{
+			Logger:    logger,
+			Pprof:     *pprofOn,
+			Heartbeat: *heartbeat,
+		}),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -97,7 +114,10 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("neutral-serve listening on %s (%d shards)", *addr, engine.Stats().Shards)
+		logger.Info("neutral-serve listening",
+			slog.String("addr", *addr),
+			slog.Int("shards", engine.Stats().Shards),
+			slog.Bool("pprof", *pprofOn))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -108,7 +128,7 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down (drain %v)", *drain)
+	logger.Info("shutting down", slog.Duration("drain", *drain))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
@@ -116,15 +136,6 @@ func run() error {
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 	return nil
-}
-
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
 }

@@ -13,6 +13,10 @@
 //	neutral-sweep -sweep layout
 //	neutral-sweep -sweep tally -problem scatter
 //	neutral-sweep -sweep threads -scene examples/scenes/duct.json
+//	neutral-sweep -sweep schedule -trace sweep-trace.json
+//
+// With -trace, every sweep point records its per-step phase spans onto an
+// own-named track in one Chrome trace-event JSON file.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/particle"
 	"repro/internal/tally"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +49,7 @@ func run() error {
 		nx    = flag.Int("nx", 512, "mesh resolution")
 		parts = flag.Int("particles", 2000, "particle count")
 		maxT  = flag.Int("max", 0, "max thread count for the threads sweep (0 = GOMAXPROCS)")
+		trace = flag.String("trace", "", "write a Chrome trace-event JSON profile of every sweep point to this file")
 	)
 	flag.Parse()
 
@@ -59,6 +65,14 @@ func run() error {
 
 	// One engine for the whole sweep; each point Resets it in place.
 	var sweeper runner
+	if *trace != "" {
+		sweeper.trace = telemetry.NewTrace()
+		defer func() {
+			if err := cliutil.WriteTraceFile(*trace, sweeper.trace); err != nil {
+				fmt.Fprintln(os.Stderr, "neutral-sweep: trace:", err)
+			}
+		}()
+	}
 
 	switch *sweep {
 	case "threads":
@@ -175,9 +189,13 @@ func run() error {
 
 // runner owns the sweep's single Simulation: the first point builds it,
 // every later point Resets it to the new configuration, reusing whatever
-// allocations the change permits.
+// allocations the change permits. With tracing on, every point gets its
+// own track — Reset clears the solver's trace hook, so it is re-attached
+// per point.
 type runner struct {
-	sim *core.Simulation
+	sim   *core.Simulation
+	trace *telemetry.Trace
+	point int
 }
 
 func (r *runner) run(cfg core.Config) (*core.Result, error) {
@@ -190,5 +208,12 @@ func (r *runner) run(cfg core.Config) (*core.Result, error) {
 	} else if err := r.sim.Reset(cfg); err != nil {
 		return nil, err
 	}
+	if r.trace != nil {
+		label := fmt.Sprintf("%02d %s t%d %s %s %s", r.point,
+			cliutil.Describe(cfg), cfg.Threads, cfg.Schedule.String(),
+			cfg.Layout.String(), cfg.Tally.String())
+		cliutil.AttachTrace(r.sim, r.trace.Track(label))
+	}
+	r.point++
 	return r.sim.Run()
 }

@@ -7,6 +7,7 @@
 //	neutral -problem scatter -particles 100000 -nx 1024 -tally private
 //	neutral -problem stream -paper        # full paper-scale run
 //	neutral -scene examples/scenes/duct.json   # declarative scene file
+//	neutral -problem csp -trace out.json  # per-step phase spans for chrome://tracing
 //
 // Long runs can checkpoint at every timestep boundary and survive a kill:
 //
@@ -38,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -62,6 +64,7 @@ func run() error {
 		resume   = flag.Bool("resume", false, "resume from the -checkpoint file when it exists")
 		replicas = flag.Int("replicas", 1, "independent replicas to run and fold into per-cell uncertainty")
 		rr       = flag.Float64("rr", 0, "weight-window target weight: enables Russian roulette + splitting population control (0 = off)")
+		trace    = flag.String("trace", "", "write per-step phase spans to this file as Chrome trace-event JSON")
 	)
 	flag.Parse()
 
@@ -89,6 +92,9 @@ func run() error {
 	if *replicas > 1 {
 		if *ckpt != "" || *resume {
 			return fmt.Errorf("-checkpoint/-resume apply to single runs, not -replicas ensembles")
+		}
+		if *trace != "" {
+			return fmt.Errorf("-trace applies to single runs, not -replicas ensembles")
 		}
 		cfg.Replicas = *replicas
 		return runEnsemble(cfg, *cells)
@@ -120,6 +126,12 @@ func run() error {
 		}
 	}
 
+	var tr *telemetry.Trace
+	if *trace != "" {
+		tr = telemetry.NewTrace()
+		cliutil.AttachTrace(sim, tr.Track(cliutil.Describe(cfg)))
+	}
+
 	var onStep core.StepFunc
 	if *ckpt != "" {
 		onStep = func(s *core.Simulation) {
@@ -144,6 +156,12 @@ func run() error {
 	}
 	if *ckpt != "" {
 		os.Remove(*ckpt) // completed: the checkpoint has served its purpose
+	}
+	if tr != nil {
+		if err := cliutil.WriteTraceFile(*trace, tr); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "neutral: wrote trace to %s (load in chrome://tracing or Perfetto)\n", *trace)
 	}
 	printResult(res)
 	if *cells {
@@ -192,6 +210,9 @@ func printResult(res *core.Result) {
 	fmt.Printf("scheme       %s  schedule %s  layout %s  tally %s  threads %d\n",
 		cfg.Scheme, cfg.Schedule, cfg.Layout, cfg.Tally, cfg.Threads)
 	fmt.Printf("wallclock    %v\n", res.Wall)
+	if phases := cliutil.PhaseSummary(res.Phases); phases != "" {
+		fmt.Printf("phases       %s\n", phases)
+	}
 	fmt.Printf("events       %d  (facet %d, collision %d, census %d)\n",
 		c.TotalEvents(), c.FacetEvents, c.CollisionEvents, c.CensusEvents)
 	fmt.Printf("per particle %.1f facets, %.2f collisions\n",

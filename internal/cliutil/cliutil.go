@@ -9,12 +9,18 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mesh"
 	"repro/internal/particle"
 	"repro/internal/scene"
 	"repro/internal/tally"
+	"repro/internal/telemetry"
 )
 
 // RunFlags is the shared flag block. Values are bound by Register and
@@ -91,4 +97,57 @@ func Describe(cfg core.Config) string {
 		return cfg.Scene.Name
 	}
 	return fmt.Sprintf("scene-%.12s", cfg.Scene.Hash())
+}
+
+// Phases converts solver phase timings into telemetry trace phases, in
+// kernel order with zero phases dropped — the shared bridge between
+// core.PhaseTimings and the Chrome trace export.
+func Phases(p core.PhaseTimings) []telemetry.Phase {
+	var out []telemetry.Phase
+	p.Each(func(name string, d time.Duration) {
+		out = append(out, telemetry.Phase{Name: name, Dur: d})
+	})
+	return out
+}
+
+// AttachTrace installs a per-step trace hook on sim that lays each step's
+// phase spans onto the named track. Re-attach after every Reset — Reset
+// clears the hook.
+func AttachTrace(sim *core.Simulation, track *telemetry.Track) {
+	sim.SetTrace(func(st core.StepTiming) {
+		track.AddStep(st.Step, st.Wall, Phases(st.Phases))
+	})
+}
+
+// WriteTraceFile writes the trace as Chrome trace-event JSON at path —
+// loadable in chrome://tracing, Perfetto or Speedscope.
+func WriteTraceFile(path string, tr *telemetry.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// PhaseSummary renders non-zero phase timings as "name 1.234s" pairs for
+// the CLI result summaries; empty when the run attributed no phase time.
+func PhaseSummary(p core.PhaseTimings) string {
+	var parts []string
+	p.Each(func(name string, d time.Duration) {
+		parts = append(parts, fmt.Sprintf("%s %.3fs", name, d.Seconds()))
+	})
+	return strings.Join(parts, "  ")
+}
+
+// NewLogger builds the CLI structured logger: JSON when jsonFormat is set
+// (one object per line, machine-ingestable), logfmt-style text otherwise.
+func NewLogger(w io.Writer, jsonFormat bool) *slog.Logger {
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
 }

@@ -134,6 +134,55 @@ func (p PhaseTimings) Total() time.Duration {
 	return p.EventKernel + p.CollisionKernel + p.FacetKernel + p.TallyKernel + p.Fused + p.Merge + p.Control
 }
 
+// Add returns the per-phase sum p + other.
+func (p PhaseTimings) Add(other PhaseTimings) PhaseTimings {
+	return PhaseTimings{
+		EventKernel:     p.EventKernel + other.EventKernel,
+		CollisionKernel: p.CollisionKernel + other.CollisionKernel,
+		FacetKernel:     p.FacetKernel + other.FacetKernel,
+		TallyKernel:     p.TallyKernel + other.TallyKernel,
+		Fused:           p.Fused + other.Fused,
+		Merge:           p.Merge + other.Merge,
+		Control:         p.Control + other.Control,
+	}
+}
+
+// Sub returns the per-phase difference p - other — how step-level timings
+// are recovered from the solver's cumulative accumulation.
+func (p PhaseTimings) Sub(other PhaseTimings) PhaseTimings {
+	return PhaseTimings{
+		EventKernel:     p.EventKernel - other.EventKernel,
+		CollisionKernel: p.CollisionKernel - other.CollisionKernel,
+		FacetKernel:     p.FacetKernel - other.FacetKernel,
+		TallyKernel:     p.TallyKernel - other.TallyKernel,
+		Fused:           p.Fused - other.Fused,
+		Merge:           p.Merge - other.Merge,
+		Control:         p.Control - other.Control,
+	}
+}
+
+// Each calls fn for every non-zero phase in kernel order, using the
+// canonical kebab-case phase names shared by the trace export, the service
+// result view, and the CLI summary.
+func (p PhaseTimings) Each(fn func(name string, d time.Duration)) {
+	for _, ph := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"event-kernel", p.EventKernel},
+		{"collision-kernel", p.CollisionKernel},
+		{"facet-kernel", p.FacetKernel},
+		{"tally-kernel", p.TallyKernel},
+		{"fused", p.Fused},
+		{"merge", p.Merge},
+		{"control", p.Control},
+	} {
+		if ph.d != 0 {
+			fn(ph.name, ph.d)
+		}
+	}
+}
+
 // Leakage reports the vacuum-boundary losses of a run, per domain edge
 // (indexed by mesh.Edge): the statistical weight and the weight-energy
 // (weight-eV) carried out by escaping histories. All-zero on reflective

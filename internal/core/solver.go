@@ -277,6 +277,38 @@ type Simulation struct {
 	res       *Result
 	next      int // next 0-based timestep to execute
 	finalized bool
+
+	// trace, when set, receives one StepTiming per completed Step. The
+	// per-step deltas are recovered from the cumulative accumulators via
+	// the two baselines below, so the hot kernel loops carry no extra
+	// bookkeeping and a nil hook costs one predictable branch per step.
+	trace     TraceFunc
+	traceWall time.Duration
+	tracePrev PhaseTimings
+}
+
+// StepTiming is the wallclock attribution of one completed timestep: the
+// step's total wall plus its per-phase breakdown, both as deltas over the
+// previous step boundary.
+type StepTiming struct {
+	Step   int
+	Wall   time.Duration
+	Phases PhaseTimings
+}
+
+// TraceFunc observes per-step timings. It runs synchronously on the solver
+// goroutine between steps — never inside a kernel — so implementations may
+// take locks but should stay cheap.
+type TraceFunc func(StepTiming)
+
+// SetTrace installs (or, with nil, removes) the per-step trace hook and
+// re-anchors the timing baselines at the current step boundary. Reset
+// clears the hook: a reused simulation traces only if the new owner
+// re-attaches.
+func (s *Simulation) SetTrace(f TraceFunc) {
+	s.trace = f
+	s.traceWall = s.res.Wall
+	s.tracePrev = s.res.Phases
 }
 
 // NewSimulation validates the configuration and builds a simulation ready
@@ -381,6 +413,15 @@ func (s *Simulation) Step() error {
 	}
 	s.res.Wall += time.Since(start)
 	s.next++
+	if s.trace != nil {
+		s.trace(StepTiming{
+			Step:   s.next - 1,
+			Wall:   s.res.Wall - s.traceWall,
+			Phases: s.res.Phases.Sub(s.tracePrev),
+		})
+		s.traceWall = s.res.Wall
+		s.tracePrev = s.res.Phases
+	}
 	return nil
 }
 
@@ -554,6 +595,9 @@ func (s *Simulation) Reset(cfg Config) error {
 	s.next = 0
 	s.finalized = false
 	s.res = &Result{Config: cfg}
+	s.trace = nil
+	s.traceWall = 0
+	s.tracePrev = PhaseTimings{}
 	return nil
 }
 

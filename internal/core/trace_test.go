@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mesh"
+)
+
+// TestStepTraceHook verifies the per-step hook fires once per Step with
+// deltas that sum to the run's cumulative wall and phase totals, and that
+// installing it leaves the physics bit-identical.
+func TestStepTraceHook(t *testing.T) {
+	for _, scheme := range []Scheme{OverParticles, OverEvents} {
+		cfg := smallConfig(mesh.CSP)
+		cfg.Scheme = scheme
+		cfg.Steps = 3
+
+		base, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sim, err := NewSimulation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var timings []StepTiming
+		sim.SetTrace(func(st StepTiming) { timings = append(timings, st) })
+		for !sim.Done() {
+			if err := sim.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := sim.Finalize()
+
+		if len(timings) != cfg.Steps {
+			t.Fatalf("%v: hook fired %d times, want %d", scheme, len(timings), cfg.Steps)
+		}
+		var wall time.Duration
+		var phases PhaseTimings
+		for i, st := range timings {
+			if st.Step != i {
+				t.Errorf("%v: timing %d has Step %d", scheme, i, st.Step)
+			}
+			if st.Wall <= 0 {
+				t.Errorf("%v: step %d wall %v, want > 0", scheme, i, st.Wall)
+			}
+			if st.Phases.Total() == 0 {
+				t.Errorf("%v: step %d has empty phase breakdown", scheme, i)
+			}
+			wall += st.Wall
+			phases = phases.Add(st.Phases)
+		}
+		if wall != res.Wall {
+			t.Errorf("%v: step walls sum to %v, result wall %v", scheme, wall, res.Wall)
+		}
+		if phases != res.Phases {
+			t.Errorf("%v: step phases sum to %+v, result phases %+v", scheme, phases, res.Phases)
+		}
+		if res.TallyTotal != base.TallyTotal || res.Counter != base.Counter {
+			t.Errorf("%v: traced run diverged from untraced run", scheme)
+		}
+	}
+}
+
+// TestTraceHookMidRunAttach verifies SetTrace re-anchors its baselines so a
+// hook attached mid-run reports only subsequent steps' deltas.
+func TestTraceHookMidRunAttach(t *testing.T) {
+	cfg := smallConfig(mesh.Scatter)
+	cfg.Steps = 3
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var timings []StepTiming
+	sim.SetTrace(func(st StepTiming) { timings = append(timings, st) })
+	for !sim.Done() {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := sim.Finalize()
+	if len(timings) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(timings))
+	}
+	if timings[0].Step != 1 || timings[1].Step != 2 {
+		t.Errorf("steps = %d, %d, want 1, 2", timings[0].Step, timings[1].Step)
+	}
+	var wall time.Duration
+	for _, st := range timings {
+		wall += st.Wall
+	}
+	if wall >= res.Wall {
+		t.Errorf("traced wall %v should exclude the untraced first step (total %v)", wall, res.Wall)
+	}
+}
+
+// TestResetClearsTrace verifies a reused simulation does not leak the
+// previous owner's hook.
+func TestResetClearsTrace(t *testing.T) {
+	cfg := smallConfig(mesh.Stream)
+	cfg.Steps = 1
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	sim.SetTrace(func(StepTiming) { fired++ })
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times before reset, want 1", fired)
+	}
+	if err := sim.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("hook fired %d times after reset, want still 1", fired)
+	}
+}
+
+func TestPhaseTimingsEachSub(t *testing.T) {
+	p := PhaseTimings{EventKernel: 5, CollisionKernel: 3, TallyKernel: 2, Merge: 1}
+	q := PhaseTimings{EventKernel: 2, CollisionKernel: 3}
+	d := p.Sub(q)
+	if d.EventKernel != 3 || d.CollisionKernel != 0 || d.TallyKernel != 2 || d.Merge != 1 {
+		t.Errorf("Sub = %+v", d)
+	}
+	var names []string
+	d.Each(func(name string, dur time.Duration) { names = append(names, name) })
+	want := []string{"event-kernel", "tally-kernel", "merge"}
+	if len(names) != len(want) {
+		t.Fatalf("Each visited %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Each visited %v, want %v", names, want)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -13,6 +16,7 @@ import (
 	"repro/internal/scene"
 	"repro/internal/stats"
 	"repro/internal/tally"
+	"repro/internal/telemetry"
 )
 
 // Spec is the wire-format run request: the JSON mirror of core.Config with
@@ -259,6 +263,12 @@ type ResultView struct {
 	// Ensemble carries the merged uncertainty statistics of an ensemble
 	// job; absent for single runs.
 	Ensemble *EnsembleView `json:"ensemble,omitempty"`
+	// PhaseTimings attributes solver wallclock to kernel phases, in
+	// seconds, keyed by canonical phase name (event-kernel,
+	// collision-kernel, facet-kernel, tally-kernel, fused, merge,
+	// control); zero phases are omitted, and the block is absent when no
+	// phase recorded any time.
+	PhaseTimings map[string]float64 `json:"phase_timings,omitempty"`
 }
 
 // LeakageView is the wire form of the per-edge vacuum losses, keyed by edge
@@ -331,7 +341,15 @@ func ensembleViewOf(ens *stats.Ensemble, keepCells bool) *EnsembleView {
 }
 
 func resultViewOf(res *core.Result) ResultView {
+	var phases map[string]float64
+	res.Phases.Each(func(name string, d time.Duration) {
+		if phases == nil {
+			phases = map[string]float64{}
+		}
+		phases[name] = d.Seconds()
+	})
 	return ResultView{
+		PhaseTimings:      phases,
 		TallyTotal:        res.TallyTotal,
 		WallSeconds:       res.Wall.Seconds(),
 		Events:            res.Counter.TotalEvents(),
@@ -357,17 +375,51 @@ func resultViewOf(res *core.Result) ResultView {
 //	GET    /v1/jobs/{id}/steps   per-timestep results recorded so far
 //	GET    /v1/jobs/{id}/replicas  per-replica results of an ensemble job
 //	GET    /v1/jobs/{id}/stream  server-sent progress + per-step + per-replica events
+//	GET    /v1/jobs/{id}/trace   per-step phase spans as Chrome trace-event JSON
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/stats           engine counters
+//	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness
+//	GET    /debug/pprof/*      runtime profiles (ServerOptions.Pprof only)
+//
+// Every request passes through the observe middleware: a correlation id
+// (honouring inbound X-Request-Id), one structured access-log line, and
+// the http_requests metric.
 type Server struct {
-	engine *Engine
-	mux    *http.ServeMux
+	engine    *Engine
+	mux       *http.ServeMux
+	handler   http.Handler
+	log       *slog.Logger
+	heartbeat time.Duration
 }
 
-// NewServer wires the engine's handlers onto a fresh mux.
-func NewServer(e *Engine) *Server {
-	s := &Server{engine: e, mux: http.NewServeMux()}
+// ServerOptions tunes the HTTP layer.
+type ServerOptions struct {
+	// Logger receives the structured access and error logs; nil discards
+	// them (library default — cmd/neutral-serve always passes one).
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose internals, so operators opt in per process.
+	Pprof bool
+	// Heartbeat is the SSE keepalive-comment interval; 0 means 15s.
+	Heartbeat time.Duration
+}
+
+// NewServer wires the engine's handlers onto a fresh mux with default
+// options (discarded logs, no pprof).
+func NewServer(e *Engine) *Server { return NewServerWith(e, ServerOptions{}) }
+
+// NewServerWith is NewServer with explicit HTTP-layer options.
+func NewServerWith(e *Engine, opts ServerOptions) *Server {
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	hb := opts.Heartbeat
+	if hb <= 0 {
+		hb = 15 * time.Second
+	}
+	s := &Server{engine: e, mux: http.NewServeMux(), log: log, heartbeat: hb}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/steps", s.handleSteps)
@@ -376,15 +428,25 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if opts.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = s.observe(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -393,7 +455,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
+// writeError reports a request failure. Client errors (4xx) and the
+// deliberate backpressure signals (queue full, engine closing) carry their
+// message to the caller; any other 5xx is logged in full via slog and
+// answered with a generic message plus the request id, so internal error
+// strings never leak to clients while operators can still correlate.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	if code >= 500 && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrClosed) {
+		id := RequestID(r.Context())
+		s.log.LogAttrs(r.Context(), slog.LevelError, "internal error",
+			slog.String("request_id", id),
+			slog.Int("status", code),
+			slog.String("error", err.Error()))
+		writeJSON(w, code, map[string]string{
+			"error":      "internal error",
+			"request_id": id,
+		})
+		return
+	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
@@ -410,32 +489,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var spec Spec
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
 		return
 	}
 	s.applyDefaultScene(&spec)
 	cfg, err := spec.Config()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	j, err := s.engine.Submit(cfg)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, r, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeError(w, r, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	code := http.StatusAccepted
-	if v := viewOf(j); v.State.Terminal() {
+	v := viewOf(j)
+	annotate(r,
+		slog.String("job_id", j.ID()),
+		slog.String("fingerprint", j.key),
+		slog.String("job_state", string(v.State)))
+	if v.State.Terminal() {
 		writeJSON(w, http.StatusOK, v) // served from cache
 	} else {
-		writeJSON(w, code, v)
+		writeJSON(w, http.StatusAccepted, v)
 	}
 }
 
@@ -468,15 +551,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var req BatchRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
 		return
 	}
 	if len(req.Specs) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("service: empty batch"))
+		s.writeError(w, r, http.StatusBadRequest, errors.New("service: empty batch"))
 		return
 	}
 	if len(req.Specs) > maxBatchSpecs {
-		writeError(w, http.StatusBadRequest,
+		s.writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("service: batch of %d specs exceeds limit %d", len(req.Specs), maxBatchSpecs))
 		return
 	}
@@ -532,7 +615,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	j, err := s.engine.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, r, http.StatusNotFound, err)
 		return nil, false
 	}
 	return j, true
@@ -551,7 +634,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("wait") == "true" {
 		if err := j.Wait(r.Context()); err != nil {
-			writeError(w, http.StatusRequestTimeout, err)
+			s.writeError(w, r, http.StatusRequestTimeout, err)
 			return
 		}
 	}
@@ -560,7 +643,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrNotFinished):
 		writeJSON(w, http.StatusAccepted, viewOf(j))
 	case err != nil:
-		writeError(w, http.StatusConflict, err)
+		s.writeError(w, r, http.StatusConflict, err)
 	default:
 		v := resultViewOf(res)
 		if ens := j.Ensemble(); ens != nil {
@@ -576,7 +659,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.engine.Cancel(j.ID()); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, viewOf(j))
@@ -585,7 +668,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleStream pushes the job over server-sent events until it is terminal
 // or the client disconnects: a "step" event for every completed timestep
 // (each carrying its tally total, wallclock and population — the per-step
-// results a coupled client consumes), a "progress" snapshot every 100 ms,
+// results a coupled client consumes), a "progress" snapshot whenever the
+// job view changed (sampled every 100 ms), a keepalive comment on the
+// server's heartbeat interval so idle streams survive proxy idle timeouts,
 // and a final "done" event with the closing snapshot. Step events already
 // recorded when the client connects are replayed first, so a late
 // subscriber still sees the whole per-step history.
@@ -596,16 +681,31 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, canFlush := w.(http.Flusher)
 	if !canFlush {
-		writeError(w, http.StatusNotImplemented, errors.New("service: streaming unsupported"))
+		s.writeError(w, r, http.StatusNotImplemented, errors.New("service: streaming unsupported"))
 		return
 	}
+	s.engine.metrics.streamSubscribers.Inc()
+	defer s.engine.metrics.streamSubscribers.Dec()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	var lastProgress []byte
 	emit := func(event string) {
 		data, _ := json.Marshal(viewOf(j))
+		lastProgress = data
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	// Progress snapshots are deduplicated against the last sent payload;
+	// heartbeats carry the idle stream instead, at far lower frequency.
+	emitProgress := func() {
+		data, _ := json.Marshal(viewOf(j))
+		if bytes.Equal(data, lastProgress) {
+			return
+		}
+		lastProgress = data
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
 		fl.Flush()
 	}
 	sent := 0
@@ -636,6 +736,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	tick := time.NewTicker(100 * time.Millisecond)
 	defer tick.Stop()
+	heartbeat := time.NewTicker(s.heartbeat)
+	defer heartbeat.Stop()
 	for {
 		select {
 		case <-j.Done():
@@ -648,9 +750,48 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-tick.C:
 			emitSteps()
 			emitReplicas()
-			emit("progress")
+			emitProgress()
+		case <-heartbeat.C:
+			// SSE comment line: ignored by EventSource clients, but
+			// traffic enough to keep proxies from reaping the stream.
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
 		}
 	}
+}
+
+// handleTrace serves the job's per-step phase spans as Chrome trace-event
+// JSON — load it in chrome://tracing or Perfetto to see where each step's
+// wallclock went. 404s for jobs with no recorded spans (cache hits and
+// ensemble parents; an ensemble's traces live on its replica jobs).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	timings := j.Timings()
+	if len(timings) == 0 {
+		s.writeError(w, r, http.StatusNotFound,
+			errors.New("service: no trace recorded for job"))
+		return
+	}
+	tr := telemetry.NewTrace()
+	track := tr.Track(j.ID())
+	for _, st := range timings {
+		var phases []telemetry.Phase
+		st.Phases.Each(func(name string, d time.Duration) {
+			phases = append(phases, telemetry.Phase{Name: name, Dur: d})
+		})
+		track.AddStep(st.Step, st.Wall, phases)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteChrome(w)
+}
+
+// handleMetrics serves the engine's registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.engine.Registry().WritePrometheus(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// engineMetrics holds the event-updated instruments the engine and HTTP
+// layer bump on the hot path. Everything the engine already counts through
+// its atomics — queue depths, cache statistics, lifetime job counters — is
+// exported as scrape-time callbacks instead, so the metrics layer adds no
+// second source of truth to drift from the one /v1/stats reports.
+type engineMetrics struct {
+	checkpointWrites  *telemetry.Counter
+	streamSubscribers *telemetry.Gauge
+	jobDuration       *telemetry.HistogramVec
+	particleRate      *telemetry.HistogramVec
+	solverEvents      *telemetry.CounterVec
+	solverHistories   *telemetry.CounterVec
+	solverWork        *telemetry.CounterVec
+	httpRequests      *telemetry.CounterVec
+}
+
+// newEngineMetrics registers the engine's metric vocabulary on r. Called
+// once from New; the func-backed series close over the engine and read its
+// live state at scrape time.
+func newEngineMetrics(e *Engine, r *telemetry.Registry) *engineMetrics {
+	m := &engineMetrics{
+		checkpointWrites: r.Counter("neutral_checkpoint_writes_total",
+			"Snapshot files written at timestep boundaries."),
+		streamSubscribers: r.Gauge("neutral_stream_subscribers",
+			"Currently connected SSE job-stream clients."),
+		jobDuration: r.HistogramVec("neutral_job_duration_seconds",
+			"Wallclock from worker pickup to completion of solved (non-cached) jobs.",
+			telemetry.ExpBuckets(0.001, 4, 9), // 1ms .. ~65s
+			"scheme"),
+		particleRate: r.HistogramVec("neutral_particles_per_second",
+			"Histories retired per solver wallclock second, by scheme.",
+			telemetry.ExpBuckets(1000, 4, 10), // 1e3 .. ~2.6e8
+			"scheme"),
+		solverEvents: r.CounterVec("neutral_solver_events_total",
+			"Monte Carlo events processed by completed runs, by kind.",
+			"kind"),
+		solverHistories: r.CounterVec("neutral_solver_histories_total",
+			"Histories retired by completed runs, by fate.",
+			"fate"),
+		solverWork: r.CounterVec("neutral_solver_work_total",
+			"Solver work counters accumulated over completed runs, by kind.",
+			"kind"),
+		httpRequests: r.CounterVec("neutral_http_requests_total",
+			"HTTP requests served, by status code.",
+			"code"),
+	}
+
+	r.GaugeFunc("neutral_shards", "Worker-pool width.",
+		func() float64 { return float64(e.opts.Shards) })
+	r.GaugeFunc("neutral_threads_per_job", "Default solver threads per job.",
+		func() float64 { return float64(e.opts.ThreadsPerJob) })
+	r.GaugeFunc("neutral_jobs_running", "Jobs currently occupying a worker.",
+		func() float64 { return float64(e.running.Load()) })
+
+	r.CounterFunc("neutral_jobs_submitted_total", "Jobs admitted over the engine lifetime.",
+		func() float64 { return float64(e.submitted.Load()) })
+	r.CounterFunc("neutral_jobs_completed_total", "Jobs finished StateDone.",
+		func() float64 { return float64(e.completed.Load()) })
+	r.CounterFunc("neutral_jobs_failed_total", "Jobs finished StateFailed.",
+		func() float64 { return float64(e.failed.Load()) })
+	r.CounterFunc("neutral_jobs_canceled_total", "Jobs finished StateCanceled.",
+		func() float64 { return float64(e.canceled.Load()) })
+	r.CounterFunc("neutral_runs_total", "Actual solver executions (cache misses).",
+		func() float64 { return float64(e.runs.Load()) })
+
+	jobs := r.GaugeVec("neutral_jobs", "Jobs known to the engine, by lifecycle state.", "state")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		st := st
+		jobs.Func(func() float64 { return float64(e.countJobs(st)) }, string(st))
+	}
+
+	depth := r.GaugeVec("neutral_queue_depth", "Queued jobs per shard.", "shard")
+	rejected := r.GaugeVec("neutral_queue_rejected_total",
+		"Submissions refused by a full shard queue. Monotonic; a gauge only because the value is read from the queue, not owned here.", "shard")
+	for i, q := range e.shards {
+		q := q
+		shard := strconv.Itoa(i)
+		depth.Func(func() float64 { return float64(q.Len()) }, shard)
+		rejected.Func(func() float64 {
+			_, dropped := q.Stats()
+			return float64(dropped)
+		}, shard)
+	}
+
+	r.CounterFunc("neutral_cache_hits_total", "Result-cache hits.",
+		func() float64 { return float64(e.cache.Stats().Hits) })
+	r.CounterFunc("neutral_cache_misses_total", "Result-cache misses.",
+		func() float64 { return float64(e.cache.Stats().Misses) })
+	r.CounterFunc("neutral_cache_evictions_total", "Result-cache LRU evictions.",
+		func() float64 { return float64(e.cache.Stats().Evictions) })
+	r.GaugeFunc("neutral_cache_entries", "Results currently cached.",
+		func() float64 { return float64(e.cache.Stats().Entries) })
+	r.GaugeFunc("neutral_cache_capacity", "Result-cache capacity.",
+		func() float64 { return float64(e.cache.Stats().Capacity) })
+
+	return m
+}
+
+// countJobs counts jobs currently in the given state.
+func (e *Engine) countJobs(st State) int {
+	n := 0
+	for _, j := range e.Jobs() {
+		j.mu.Lock()
+		if j.state == st {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// observeRun records one solved (non-cached) single-run result into the
+// latency, throughput and solver-counter series; dur is the wallclock from
+// worker pickup to completion. Ensemble parents are never observed — their
+// replicas each pass through here, so observing the parent too would
+// double-count every event.
+func (m *engineMetrics) observeRun(res *core.Result, dur time.Duration) {
+	scheme := res.Config.Scheme.String()
+	m.jobDuration.With(scheme).Observe(dur.Seconds())
+	c := &res.Counter
+	if secs := res.Wall.Seconds(); secs > 0 {
+		retired := c.Deaths + c.Escapes + c.CensusEvents
+		m.particleRate.With(scheme).Observe(float64(retired) / secs)
+	}
+	m.solverEvents.With("facet").Add(float64(c.FacetEvents))
+	m.solverEvents.With("collision").Add(float64(c.CollisionEvents))
+	m.solverEvents.With("census").Add(float64(c.CensusEvents))
+	m.solverHistories.With("death").Add(float64(c.Deaths))
+	m.solverHistories.With("escape").Add(float64(c.Escapes))
+	m.solverHistories.With("census").Add(float64(c.CensusEvents))
+	m.solverWork.With("segments").Add(float64(c.Segments))
+	m.solverWork.With("xs_lookups").Add(float64(c.XSLookups))
+	m.solverWork.With("tally_flushes").Add(float64(c.TallyFlushes))
+	m.solverWork.With("rng_draws").Add(float64(c.RNGDraws))
+}
+
+// Registry returns the telemetry registry the engine reports into — the
+// one from Options.Registry, or the private registry New created.
+func (e *Engine) Registry() *telemetry.Registry { return e.registry }

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ctxKey is the private context-key namespace of this package.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyAnnot
+)
+
+// RequestID returns the request's correlation id, assigned by the server
+// middleware and echoed in the X-Request-Id response header and in 5xx
+// error bodies; empty outside a server request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// annot collects per-request log attributes that handlers learn mid-flight
+// (job id, config fingerprint, terminal state) so the single access-log
+// line carries them without handlers doing their own logging.
+type annot struct {
+	mu    sync.Mutex
+	attrs []slog.Attr
+}
+
+// annotate attaches attrs to the request's access-log line. A no-op for
+// requests that did not pass through the server middleware.
+func annotate(r *http.Request, attrs ...slog.Attr) {
+	a, _ := r.Context().Value(ctxKeyAnnot).(*annot)
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.attrs = append(a.attrs, attrs...)
+	a.mu.Unlock()
+}
+
+// statusWriter captures the response code and flushes through to the
+// underlying writer — SSE streaming must keep working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// newRequestID draws a 16-hex-char random correlation id. Inbound
+// X-Request-Id headers are honoured instead, so ids propagate through
+// proxies and retries.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// observe is the server middleware: request id assignment, structured
+// access logging, and the http_requests metric. It wraps the whole mux so
+// every route — including /metrics and pprof — is covered by one line per
+// request.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		a := &annot{}
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+		ctx = context.WithValue(ctx, ctxKeyAnnot, a)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.engine.metrics.httpRequests.With(strconv.Itoa(sw.code)).Inc()
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code),
+			slog.Duration("duration", time.Since(start)),
+			slog.String("request_id", id),
+		}
+		a.mu.Lock()
+		attrs = append(attrs, a.attrs...)
+		a.mu.Unlock()
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/scene"
 	"repro/internal/stats"
 	"repro/internal/tally"
+	"repro/internal/telemetry"
 )
 
 // State is a job's lifecycle position.
@@ -83,6 +84,10 @@ type Job struct {
 	// otherwise.
 	replicas  []ReplicaView
 	ensemble  *stats.Ensemble
+	// timings is the per-step wallclock attribution the worker's trace
+	// hook records while solving; empty for cached jobs and ensemble
+	// parents (their replicas carry the timings).
+	timings   []core.StepTiming
 	result    *core.Result
 	err       error
 	submitted time.Time
@@ -169,6 +174,22 @@ func (j *Job) addStep(v StepView) {
 	j.mu.Lock()
 	j.steps = append(j.steps, v)
 	j.mu.Unlock()
+}
+
+// addTiming is the core.TraceFunc the worker installs on its simulation.
+func (j *Job) addTiming(st core.StepTiming) {
+	j.mu.Lock()
+	j.timings = append(j.timings, st)
+	j.mu.Unlock()
+}
+
+// Timings returns the per-step timing spans recorded while solving, oldest
+// first. Empty for cached jobs and ensemble parents. A resumed job's
+// timings start at the checkpointed step.
+func (j *Job) Timings() []core.StepTiming {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]core.StepTiming(nil), j.timings...)
 }
 
 // setResumedFrom records the checkpoint boundary the solver resumed at.
@@ -282,6 +303,11 @@ type Options struct {
 	// how cmd/neutral-serve's -scene flag sets a server-wide default
 	// problem. It must be validated (scene.LoadFile and Parse validate).
 	DefaultScene *scene.Scene
+	// Registry, when non-nil, is the telemetry registry the engine
+	// registers its metric families on — shared when a process hosts
+	// several instrumented subsystems. Nil means a private registry;
+	// either way Engine.Registry() is what GET /metrics serves.
+	Registry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -325,6 +351,9 @@ type Engine struct {
 
 	rr atomic.Uint64 // round-robin cursor for uncacheable jobs
 
+	registry *telemetry.Registry
+	metrics  *engineMetrics
+
 	// Lifetime counters.
 	submitted atomic.Uint64
 	completed atomic.Uint64
@@ -360,6 +389,11 @@ func New(opts Options) *Engine {
 	for i := range e.shards {
 		e.shards[i] = NewQueue(opts.QueueDepth)
 	}
+	e.registry = opts.Registry
+	if e.registry == nil {
+		e.registry = telemetry.NewRegistry()
+	}
+	e.metrics = newEngineMetrics(e, e.registry)
 	e.wg.Add(opts.Shards)
 	for i := range e.shards {
 		go e.worker(e.shards[i])
@@ -578,6 +612,7 @@ func (e *Engine) execute(j *Job, reuse **core.Simulation) {
 		}
 		if j.finish(StateDone, res, nil, false) {
 			e.completed.Add(1)
+			e.metrics.observeRun(res, time.Since(j.started))
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		if j.finish(StateCanceled, nil, err, false) {
@@ -621,6 +656,12 @@ func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
 	}
 	*reuse = sim
 
+	// Per-step timing spans land on the job for /v1/jobs/{id}/trace; the
+	// hook is removed before the simulation goes back into worker reuse
+	// (Reset would clear it too — this covers the no-Reset fresh path).
+	sim.SetTrace(j.addTiming)
+	defer sim.SetTrace(nil)
+
 	res, err := sim.Drive(j.ctx, j.setProgress, func(s *core.Simulation) {
 		j.addStep(stepViewOf(s))
 		if ckpt != "" && s.StepIndex()%e.opts.CheckpointEvery == 0 {
@@ -628,7 +669,9 @@ func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
 			// batch-pinned duplicate of a routed job cannot publish a
 			// torn checkpoint. Best-effort: an error leaves the job
 			// running uncheckpointed.
-			core.WriteSnapshotFile(ckpt, s.Snapshot())
+			if core.WriteSnapshotFile(ckpt, s.Snapshot()) == nil {
+				e.metrics.checkpointWrites.Inc()
+			}
 		}
 	})
 	if err == nil && ckpt != "" {

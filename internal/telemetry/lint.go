@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text exposition data line by line
+// and verifies each family named in required both declares a TYPE and
+// carries at least one sample. It is the shared lint behind the registry's
+// golden tests and the CI scrape gate (cmd/metricscheck): a scrape that
+// parses here parses in Prometheus.
+func CheckExposition(data []byte, required []string) error {
+	typed := map[string]bool{}
+	sampled := map[string]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		lineno := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineno, err)
+			}
+			if kind == "TYPE" {
+				typed[name] = true
+			}
+			continue
+		}
+		name, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineno, err)
+		}
+		// Histogram samples count toward their base family.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] {
+				name = base
+				break
+			}
+		}
+		sampled[name] = true
+	}
+	for _, name := range required {
+		if !typed[name] {
+			return fmt.Errorf("required metric %s: no TYPE line", name)
+		}
+		if !sampled[name] {
+			return fmt.Errorf("required metric %s: no samples", name)
+		}
+	}
+	return nil
+}
+
+// parseComment validates a # line; only HELP and TYPE comments carry
+// structure, anything else after # is free-form and accepted.
+func parseComment(line string) (kind, name string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return "", "", nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !nameRe.MatchString(fields[2]) {
+			return "", "", fmt.Errorf("malformed HELP comment: %q", line)
+		}
+		return "HELP", fields[2], nil
+	case "TYPE":
+		if len(fields) < 4 || !nameRe.MatchString(fields[2]) {
+			return "", "", fmt.Errorf("malformed TYPE comment: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+			return "TYPE", fields[2], nil
+		}
+		return "", "", fmt.Errorf("unknown metric type %q", fields[3])
+	}
+	return "", "", nil
+}
+
+// parseSample validates one sample line `name{labels} value [timestamp]`
+// and returns the metric name.
+func parseSample(line string) (string, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", fmt.Errorf("malformed sample: %q", line)
+	}
+	name := rest[:i]
+	if !nameRe.MatchString(name) {
+		return "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], line)
+		if err != nil {
+			return "", err
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("malformed sample value: %q", line)
+	}
+	if _, err := parseValue(fields[0]); err != nil {
+		return "", fmt.Errorf("bad sample value %q in %q", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("bad sample timestamp %q in %q", fields[1], line)
+		}
+	}
+	return name, nil
+}
+
+// parseLabels consumes `k="v",...}` handling escaped quotes and returns
+// what follows the closing brace.
+func parseLabels(rest, line string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("malformed labels: %q", line)
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		if !nameRe.MatchString(lname) {
+			return "", fmt.Errorf("invalid label name %q in %q", lname, line)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("unquoted label value: %q", line)
+		}
+		rest = rest[1:]
+		for {
+			j := strings.IndexAny(rest, `\"`)
+			if j < 0 {
+				return "", fmt.Errorf("unterminated label value: %q", line)
+			}
+			if rest[j] == '\\' {
+				if j+1 >= len(rest) {
+					return "", fmt.Errorf("dangling escape: %q", line)
+				}
+				switch rest[j+1] {
+				case '\\', '"', 'n':
+				default:
+					return "", fmt.Errorf("bad escape \\%c in %q", rest[j+1], line)
+				}
+				rest = rest[j+2:]
+				continue
+			}
+			rest = rest[j+1:]
+			break
+		}
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		return "", fmt.Errorf("malformed labels: %q", line)
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}

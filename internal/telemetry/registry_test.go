@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact exposition text for a registry
+// exercising every instrument shape: scalar counter/gauge, func-backed
+// series, labelled vecs, and a histogram with labels.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations attempted.")
+	c.Add(3)
+	g := r.Gauge("test_depth", "Current depth.")
+	g.Set(2.5)
+	r.GaugeFunc("test_limit", "Configured limit.", func() float64 { return 64 })
+	cv := r.CounterVec("test_events_total", "Events by kind.", "kind")
+	cv.With("facet").Add(7)
+	cv.With("collision").Inc()
+	h := r.HistogramVec("test_latency_seconds", "Latency by scheme.",
+		[]float64{0.1, 1}, "scheme")
+	h.With("events").Observe(0.05)
+	h.With("events").Observe(0.5)
+	h.With("events").Observe(5)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_depth Current depth.
+# TYPE test_depth gauge
+test_depth 2.5
+# HELP test_events_total Events by kind.
+# TYPE test_events_total counter
+test_events_total{kind="collision"} 1
+test_events_total{kind="facet"} 7
+# HELP test_latency_seconds Latency by scheme.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{scheme="events",le="0.1"} 1
+test_latency_seconds_bucket{scheme="events",le="1"} 2
+test_latency_seconds_bucket{scheme="events",le="+Inf"} 3
+test_latency_seconds_sum{scheme="events"} 5.55
+test_latency_seconds_count{scheme="events"} 3
+# HELP test_limit Configured limit.
+# TYPE test_limit gauge
+test_limit 64
+# HELP test_ops_total Operations attempted.
+# TYPE test_ops_total counter
+test_ops_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := CheckExposition(b.Bytes(), []string{
+		"test_ops_total", "test_depth", "test_limit",
+		"test_events_total", "test_latency_seconds",
+	}); err != nil {
+		t.Errorf("golden output fails lint: %v", err)
+	}
+}
+
+// TestExpositionEscaping pins label-value and help escaping.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_weird_total", "Help with \\ and\nnewline.", "path")
+	cv.With("a\"b\\c\nd").Inc()
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_weird_total Help with \\ and\nnewline.
+# TYPE test_weird_total counter
+test_weird_total{path="a\"b\\c\nd"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("escaping mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := CheckExposition(b.Bytes(), []string{"test_weird_total"}); err != nil {
+		t.Errorf("escaped output fails lint: %v", err)
+	}
+}
+
+// TestConcurrentUpdates hammers every instrument from many goroutines while
+// scraping concurrently; exact totals must survive. Meaningful under -race.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c_total", "")
+	g := r.Gauge("test_g", "")
+	cv := r.CounterVec("test_cv_total", "", "k")
+	h := r.Histogram("test_h", "", []float64{1, 10, 100})
+
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				cv.With("a").Inc()
+				cv.With("b").Add(2)
+				h.Observe(float64(i % 150))
+			}
+		}(w)
+	}
+	// Scrape while updates are in flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b bytes.Buffer
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := CheckExposition(b.Bytes(), nil); err != nil {
+				t.Errorf("mid-flight scrape fails lint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const n = workers * perWorker
+	if got := c.Value(); got != n {
+		t.Errorf("counter = %v, want %v", got, n)
+	}
+	if got := g.Value(); got != n {
+		t.Errorf("gauge = %v, want %v", got, n)
+	}
+	if got := cv.With("a").Value(); got != n {
+		t.Errorf("cv a = %v, want %v", got, n)
+	}
+	if got := cv.With("b").Value(); got != 2*n {
+		t.Errorf("cv b = %v, want %v", got, 2*n)
+	}
+	if got := h.Count(); got != n {
+		t.Errorf("histogram count = %v, want %v", got, n)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hb", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`test_hb_bucket{le="1"} 2`,
+		`test_hb_bucket{le="2"} 3`,
+		`test_hb_bucket{le="4"} 4`,
+		`test_hb_bucket{le="+Inf"} 5`,
+		`test_hb_count 5`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("sum = %v, want 106", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("test_dup_total", "")
+	mustPanic("duplicate name", func() { r.Counter("test_dup_total", "") })
+	mustPanic("invalid name", func() { r.Counter("0bad", "") })
+	mustPanic("invalid label", func() { r.CounterVec("test_l_total", "", "0bad") })
+	mustPanic("le label", func() { r.HistogramVec("test_le", "", []float64{1}, "le") })
+	c := r.Counter("test_neg_total", "")
+	mustPanic("negative counter add", func() { c.Add(-1) })
+}
+
+func TestCheckExpositionRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct{ name, text string }{
+		{"bad type", "# TYPE foo banana\n"},
+		{"bad name", "0bad 1\n"},
+		{"bad value", "foo abc\n"},
+		{"unterminated label", "foo{a=\"b 1\n"},
+		{"unquoted label", "foo{a=b} 1\n"},
+		{"missing value", "foo{a=\"b\"}\n"},
+	} {
+		if err := CheckExposition([]byte(tc.text), nil); err == nil {
+			t.Errorf("%s: expected error for %q", tc.name, tc.text)
+		}
+	}
+	if err := CheckExposition([]byte("# TYPE foo counter\n"), []string{"foo"}); err == nil {
+		t.Error("expected error for required family with no samples")
+	}
+	if err := CheckExposition([]byte("foo 1\n"), []string{"foo"}); err == nil {
+		t.Error("expected error for required family with no TYPE")
+	}
+}
+
+func TestTraceWriteChrome(t *testing.T) {
+	tr := NewTrace()
+	track := tr.Track("job abc")
+	track.AddStep(0, 10*time.Millisecond, []Phase{
+		{Name: "event-kernel", Dur: 6 * time.Millisecond},
+		{Name: "tally-kernel", Dur: 3 * time.Millisecond},
+		{Name: "empty", Dur: 0},
+	})
+	track.AddStep(1, 5*time.Millisecond, []Phase{
+		{Name: "event-kernel", Dur: 5 * time.Millisecond},
+	})
+	tr.Track("job def").AddStep(0, time.Millisecond, nil)
+
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	// 2 metadata events + 6 spans (zero-duration phase dropped).
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("got %d events, want 8", len(doc.TraceEvents))
+	}
+	byName := map[string][]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			byName[ev.Name] = []float64{ev.TS, ev.Dur}
+		}
+	}
+	// Step 1 starts where step 0 ended (running track clock).
+	if got := byName["step 1"][0]; got != 10000 {
+		t.Errorf("step 1 ts = %v µs, want 10000", got)
+	}
+	// tally-kernel nests after event-kernel inside step 0.
+	if got := byName["tally-kernel"][0]; got != 6000 {
+		t.Errorf("tally-kernel ts = %v µs, want 6000", got)
+	}
+}
+
+// TestTrackClampsPhases verifies over-long phase sums are clamped into the
+// step span rather than spilling into the next step.
+func TestTrackClampsPhases(t *testing.T) {
+	tr := NewTrace()
+	track := tr.Track("t")
+	track.AddStep(0, 10*time.Millisecond, []Phase{
+		{Name: "a", Dur: 8 * time.Millisecond},
+		{Name: "b", Dur: 8 * time.Millisecond}, // overflows, clamps to 2ms
+		{Name: "c", Dur: 8 * time.Millisecond}, // fully outside, dropped
+	})
+	track.mu.Lock()
+	defer track.mu.Unlock()
+	if len(track.spans) != 3 { // step + a + clamped b
+		t.Fatalf("got %d spans, want 3", len(track.spans))
+	}
+	if got := track.spans[2].dur; got != 2*time.Millisecond {
+		t.Errorf("clamped dur = %v, want 2ms", got)
+	}
+}

@@ -85,6 +85,16 @@ type (
 	// StepFunc observes a driven simulation at each completed timestep
 	// boundary (per-step telemetry, checkpointing).
 	StepFunc = core.StepFunc
+	// PhaseTimings attributes solver wallclock to kernel phases (on
+	// Result, and per step through the trace hook).
+	PhaseTimings = core.PhaseTimings
+	// StepTiming is one completed timestep's wallclock attribution, as
+	// delivered to the Simulation.SetTrace hook.
+	StepTiming = core.StepTiming
+	// TraceFunc observes per-step timings; install one with
+	// Simulation.SetTrace (nil by default — a disabled hook costs
+	// nothing).
+	TraceFunc = core.TraceFunc
 	// JobStepView is one completed timestep of a service job, as
 	// streamed over the SSE "step" events and the /steps endpoint.
 	JobStepView = service.StepView
@@ -139,6 +149,9 @@ type (
 	JobState = service.State
 	// JobSpec is the wire-format run request accepted by the HTTP API.
 	JobSpec = service.Spec
+	// ServiceHandlerOptions tunes the HTTP layer (structured logging,
+	// pprof exposure, SSE heartbeat interval).
+	ServiceHandlerOptions = service.ServerOptions
 )
 
 // Job lifecycle states.
@@ -288,8 +301,16 @@ func RunEnsemble(ctx context.Context, cfg Config, opts EnsembleOptions) (*Ensemb
 func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 
 // ServiceHandler wraps a Service in the neutral-serve HTTP/JSON API
-// (submit, status, result, cancel, streaming progress, stats).
+// (submit, status, result, cancel, streaming progress, stats, Prometheus
+// /metrics, per-job Chrome traces) with default options: discarded logs,
+// no pprof.
 func ServiceHandler(s *Service) http.Handler { return service.NewServer(s) }
+
+// ServiceHandlerWith is ServiceHandler with explicit HTTP-layer options
+// (structured request logging, /debug/pprof exposure, SSE heartbeat).
+func ServiceHandlerWith(s *Service, opts ServiceHandlerOptions) http.Handler {
+	return service.NewServerWith(s, opts)
+}
 
 // DevicePrediction is one device's modelled runtime for a problem at paper
 // scale.
