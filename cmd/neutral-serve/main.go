@@ -12,16 +12,26 @@
 //	curl -s localhost:8080/v1/jobs/job-000001/result?wait=true
 //	curl -N localhost:8080/v1/jobs/job-000001/stream
 //
+// Running a cluster (see internal/fleet): one coordinator dispatches job
+// shards to worker processes under heartbeat-renewed leases, rescheduling
+// from the last pulled checkpoint when a worker dies:
+//
+//	neutral-serve -addr :8080 -fleet -lease 10s            # coordinator
+//	neutral-serve -addr :8081 -worker -join http://localhost:8080
+//	neutral-serve -addr :8082 -worker -join http://localhost:8080
+//
 // Observability:
 //
 //	curl -s localhost:8080/metrics                     # Prometheus text exposition
+//	curl -s localhost:8080/v1/fleet/workers            # fleet registry (coordinator)
 //	curl -s localhost:8080/v1/jobs/job-000001/trace    # Chrome trace-event JSON
 //	neutral-serve -pprof                               # mounts /debug/pprof/*
 //	neutral-serve -log-json                            # JSON structured request logs
 //
 // The server drains gracefully on SIGINT/SIGTERM: in-flight HTTP requests
-// get a shutdown window, then every queued and running simulation is
-// canceled through its context.
+// get a shutdown window, a worker leaves its fleet and checkpoints its
+// in-flight shards to the checkpoint directory, then every queued and
+// running simulation is canceled through its context.
 package main
 
 import (
@@ -30,15 +40,19 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/fleet"
 	"repro/internal/scene"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -62,16 +76,34 @@ func run() error {
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt text")
 		heartbeat  = flag.Duration("sse-heartbeat", 0, "SSE keepalive comment interval (0 = 15s)")
+
+		fleetOn   = flag.Bool("fleet", false, "act as fleet coordinator: dispatch eligible jobs to joined workers, degrade to local execution when none are reachable")
+		workerOn  = flag.Bool("worker", false, "act as fleet worker: join the coordinator at -join and accept dispatched shards")
+		join      = flag.String("join", "", "coordinator base URL a -worker registers with (e.g. http://host:8080)")
+		advertise = flag.String("advertise", "", "URL this worker's API is reachable at from the coordinator (default derived from -addr)")
+		name      = flag.String("name", "", "fleet-unique worker name (default derived from the advertise URL)")
+		lease     = flag.Duration("lease", 0, "coordinator shard-lease TTL; a worker silent this long has its shards rescheduled (0 = 10s)")
+		chaosSpec = flag.String("chaos", "", "deterministic fault injection on fleet HTTP traffic, e.g. drop=0.1,delay=0.05:200ms,err500=0.02,partial=0.01,seed=42")
 	)
 	flag.Parse()
 
 	logger := cliutil.NewLogger(os.Stderr, *logJSON)
 
+	if *workerOn && *fleetOn {
+		return errors.New("-worker and -fleet are mutually exclusive roles")
+	}
+	if *workerOn && *join == "" {
+		return errors.New("-worker requires -join")
+	}
+	chaos, err := fleet.ParseChaos(*chaosSpec)
+	if err != nil {
+		return err
+	}
+
 	// Fail fast on an unloadable default scene rather than rejecting every
 	// problem-less submission at runtime.
 	var defaultScene *scene.Scene
 	if *sceneFile != "" {
-		var err error
 		if defaultScene, err = scene.LoadFile(*sceneFile); err != nil {
 			return err
 		}
@@ -91,7 +123,25 @@ func run() error {
 		os.Remove(probe.Name())
 	}
 
-	engine := service.New(service.Options{
+	// In either fleet role the engine and the fleet layer share one
+	// registry, so a single /metrics scrape carries the neutral_* and
+	// fleet_* families together.
+	var registry *telemetry.Registry
+	var coordinator *fleet.Coordinator
+	var mounts map[string]http.Handler
+	if *fleetOn {
+		registry = telemetry.NewRegistry()
+		coordinator = fleet.NewCoordinator(fleet.Options{
+			LeaseTTL: *lease,
+			Chaos:    chaos,
+			Logger:   logger,
+			Registry: registry,
+		})
+		defer coordinator.Close()
+		mounts = coordinator.Routes()
+	}
+
+	opts := service.Options{
 		Shards:          *shards,
 		QueueDepth:      *queueDepth,
 		CacheEntries:    *cacheSize,
@@ -99,13 +149,19 @@ func run() error {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		DefaultScene:    defaultScene,
-	})
+		Registry:        registry,
+	}
+	if coordinator != nil {
+		opts.Remote = coordinator
+	}
+	engine := service.New(opts)
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: service.NewServerWith(engine, service.ServerOptions{
 			Logger:    logger,
 			Pprof:     *pprofOn,
 			Heartbeat: *heartbeat,
+			Mounts:    mounts,
 		}),
 	}
 
@@ -117,25 +173,105 @@ func run() error {
 		logger.Info("neutral-serve listening",
 			slog.String("addr", *addr),
 			slog.Int("shards", engine.Stats().Shards),
+			slog.String("role", role(*fleetOn, *workerOn)),
 			slog.Bool("pprof", *pprofOn))
 		errc <- srv.ListenAndServe()
 	}()
 
+	// A worker joins its coordinator and heartbeats until shutdown; the
+	// agent failing hard (bad flags, unreachable coordinator after the
+	// retry budget) takes the process down rather than serving silently
+	// outside the fleet.
+	agentErr := make(chan error, 1)
+	agentDone := make(chan struct{})
+	close(agentDone)
+	if *workerOn {
+		self := *advertise
+		if self == "" {
+			if self, err = deriveAdvertise(*addr); err != nil {
+				return err
+			}
+		}
+		wname := *name
+		if wname == "" {
+			wname = strings.TrimPrefix(strings.TrimPrefix(self, "http://"), "https://")
+		}
+		agent, err := fleet.NewAgent(fleet.AgentOptions{
+			Coordinator: strings.TrimSuffix(*join, "/"),
+			Self:        self,
+			Name:        wname,
+			Engine:      engine,
+			Chaos:       chaos,
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		agentDone = make(chan struct{})
+		go func() {
+			defer close(agentDone)
+			if err := agent.Run(ctx); err != nil && ctx.Err() == nil {
+				agentErr <- err
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
+		engine.Close()
+		return err
+	case err := <-agentErr:
 		engine.Close()
 		return err
 	case <-ctx.Done():
 	}
 
 	logger.Info("shutting down", slog.Duration("drain", *drain))
+	// ctx is already done, so a worker's agent has begun leaving the
+	// fleet; wait for the goodbye to land (it has its own 2s timeout) or
+	// the coordinator would only notice this worker's death at lease
+	// expiry. The coordinator reschedules its shards from the checkpoints
+	// it pulled while this drain runs.
+	select {
+	case <-agentDone:
+	case <-time.After(3 * time.Second):
+		logger.Warn("fleet: agent did not finish leaving before drain")
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	err := srv.Shutdown(shutdownCtx)
+	err = srv.Shutdown(shutdownCtx)
+	if n := engine.CheckpointInFlight(); n > 0 {
+		logger.Info("checkpointed in-flight jobs", slog.Int("count", n))
+	}
 	engine.Close() // cancels every queued and in-flight simulation
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	logger.Info("bye")
 	return nil
+}
+
+// role names the process's fleet role for the startup log line.
+func role(coordinator, worker bool) string {
+	switch {
+	case coordinator:
+		return "coordinator"
+	case worker:
+		return "worker"
+	default:
+		return "standalone"
+	}
+}
+
+// deriveAdvertise guesses the worker's reachable URL from its listen
+// address: loopback for a port-only address, the literal host otherwise.
+func deriveAdvertise(addr string) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive -advertise from -addr %q: %w", addr, err)
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
 }

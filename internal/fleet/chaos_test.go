@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseChaos(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		c, err := ParseChaos("")
+		if err != nil || c != nil {
+			t.Fatalf("ParseChaos(\"\") = %v, %v; want nil, nil", c, err)
+		}
+	})
+	t.Run("full", func(t *testing.T) {
+		c, err := ParseChaos("drop=0.1,delay=0.05:200ms,err500=0.02,partial=0.01,seed=42")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Drop != 0.1 || c.Delay != 0.05 || c.DelayDur != 200*time.Millisecond ||
+			c.Err500 != 0.02 || c.Partial != 0.01 {
+			t.Errorf("parsed %+v", c)
+		}
+	})
+	for _, bad := range []string{
+		"drop=1.5",        // probability out of range
+		"drop=-0.1",       // negative probability
+		"nonsense=0.5",    // unknown key
+		"drop",            // missing value
+		"delay=0.1:bogus", // unparseable duration
+	} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}
+
+// TestChaosDeterministic pins that two injectors with the same seed make
+// the same drop/pass decisions over the same request sequence — the
+// property that makes chaos test failures reproducible.
+func TestChaosDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	run := func(seed int64) []bool {
+		c := NewChaos(seed)
+		c.Drop = 0.5
+		client := &http.Client{Transport: c}
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a, b)
+		}
+	}
+	passed := 0
+	for _, ok := range a {
+		if ok {
+			passed++
+		}
+	}
+	if passed == 0 || passed == len(a) {
+		t.Errorf("Drop=0.5 over %d requests passed %d — injection not engaged", len(a), passed)
+	}
+}
+
+// TestChaosErr500NeverReachesServer pins that synthesized 500s are safe to
+// retry: the server must not observe the request.
+func TestChaosErr500NeverReachesServer(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+	}))
+	defer srv.Close()
+	c := NewChaos(1)
+	c.Err500 = 1.0
+	client := &http.Client{Transport: c}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if hits != 0 {
+		t.Errorf("server saw %d requests; a synthesized 500 must not reach it", hits)
+	}
+}
+
+// TestChaosPartialTruncates pins that a partial response surfaces as an
+// unexpected EOF mid-body, the shape a severed TCP connection produces.
+func TestChaosPartialTruncates(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 4096))
+	}))
+	defer srv.Close()
+	c := NewChaos(1)
+	c.Partial = 1.0
+	c.PartialBytes = 100
+	client := &http.Client{Transport: c}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("read error = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(body) > 100 {
+		t.Errorf("read %d bytes, want <= 100", len(body))
+	}
+}

@@ -1,0 +1,507 @@
+// Package fleet turns one neutral-serve process into the coordinator of a
+// fault-tolerant worker fleet, after the master/worker architecture of the
+// paper's parallel framework: workers register over the same HTTP/JSON API
+// the jobs use, the coordinator dispatches job shards to them under
+// TTL leases renewed by heartbeats and stream activity, and a worker that
+// goes silent has its shards rescheduled onto a healthy peer from the last
+// fingerprint-keyed checkpoint the coordinator pulled. When no worker is
+// reachable at all the engine degrades gracefully to local in-process
+// execution — a fleet of zero is just the single-process server.
+//
+// Robustness is the design center, so every failure-handling decision is
+// observable (the fleet_* metric families) and injectable (Chaos, a
+// deterministic fault layer the tests drive through worker crashes, lost
+// heartbeats, duplicate completions and stale leases).
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fleet/retry"
+	"repro/internal/telemetry"
+)
+
+// Options tunes a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a shard lease lives without renewal; a worker
+	// whose leases expire is presumed dead and its shards reschedule.
+	// 0 means 10s.
+	LeaseTTL time.Duration
+	// Heartbeat is the interval workers are told to beat at; 0 means
+	// LeaseTTL/3, keeping two missable beats inside one TTL.
+	Heartbeat time.Duration
+	// MaxReschedules bounds how many times one shard may move to a new
+	// worker before the coordinator gives up and degrades the shard to
+	// local execution. 0 means 3.
+	MaxReschedules int
+	// Retry is the policy for coordinator→worker control requests
+	// (submit, status, result, snapshot). The zero policy gets fleet
+	// defaults: 50ms initial, 2s cap, 5 attempts.
+	Retry retry.Policy
+	// Client performs worker HTTP requests; nil means a fresh client.
+	// Chaos, when non-nil, wraps the client transport with deterministic
+	// fault injection.
+	Client *http.Client
+	Chaos  *Chaos
+	// Logger receives lease and reschedule events; nil discards them.
+	Logger *slog.Logger
+	// Registry receives the fleet_* metric families; nil means a private
+	// registry. Pass the engine's registry so one /metrics scrape carries
+	// both vocabularies.
+	Registry *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 3
+	}
+	if o.MaxReschedules <= 0 {
+		o.MaxReschedules = 3
+	}
+	if o.Retry.Initial == 0 && o.Retry.Attempts == 0 && o.Retry.Budget == 0 {
+		o.Retry = retry.Policy{
+			Initial:  50 * time.Millisecond,
+			Max:      2 * time.Second,
+			Attempts: 5,
+			Jitter:   0.2,
+		}
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.NewRegistry()
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Chaos != nil {
+		base := o.Client.Transport
+		chaos := o.Chaos
+		chaos.Base = base
+		// Copy the client so the caller's is not mutated.
+		cl := *o.Client
+		cl.Transport = chaos
+		o.Client = &cl
+	}
+	return o
+}
+
+// worker is the coordinator's view of one registered worker process.
+type worker struct {
+	name string
+	url  string
+	// lastBeat is the newest proof of life (registration, heartbeat, or
+	// stream activity); zero marks a worker suspected dead after a lost
+	// shard, until its next heartbeat revives it.
+	lastBeat time.Time
+	departed bool
+	// stale lists remote job IDs this worker should cancel — shards that
+	// were rescheduled away while it was presumed dead. Delivered and
+	// cleared by its next heartbeat.
+	stale []string
+	// dispatches and failures count shards sent to and lost on this
+	// worker.
+	dispatches uint64
+	failures   uint64
+}
+
+// lease is one shard-to-worker assignment with an expiry deadline. The
+// cancel func aborts the dispatch attempt watching the shard, so expiry
+// and reschedule are the same mechanism: kill the watch, let the dispatch
+// loop pick a new worker.
+type lease struct {
+	id       int64
+	worker   string
+	jobID    string
+	deadline time.Time
+	renewals int
+	cancel   context.CancelFunc
+}
+
+// Coordinator owns the worker registry and lease table, serves the
+// /v1/fleet control plane, and implements service.RemoteRunner: the engine
+// hands it eligible job shards and it returns their results, surviving
+// worker deaths in between.
+type Coordinator struct {
+	opts    Options
+	log     *slog.Logger
+	client  *http.Client
+	metrics *fleetMetrics
+
+	mu       sync.Mutex
+	workers  map[string]*worker
+	leases   map[int64]*lease
+	leaseSeq int64
+	rr       uint64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its lease janitor.
+func NewCoordinator(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:        opts,
+		log:         opts.Logger,
+		client:      opts.Client,
+		workers:     map[string]*worker{},
+		leases:      map[int64]*lease{},
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	c.metrics = newFleetMetrics(c, opts.Registry)
+	go c.janitor()
+	return c
+}
+
+// Close stops the lease janitor. In-flight dispatches keep their contexts;
+// the engine's own shutdown cancels them.
+func (c *Coordinator) Close() {
+	close(c.janitorStop)
+	<-c.janitorDone
+}
+
+// janitor expires overdue leases on a fraction of the TTL, so a dead
+// worker is detected within ~1.25 lease lifetimes at worst.
+func (c *Coordinator) janitor() {
+	defer close(c.janitorDone)
+	tick := max(c.opts.LeaseTTL/4, 5*time.Millisecond)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.janitorStop:
+			return
+		case now := <-t.C:
+			c.expireDue(now)
+		}
+	}
+}
+
+// expireDue expires every lease whose deadline passed: the watch is
+// cancelled (triggering a reschedule), the worker is marked suspect, and
+// the orphaned remote job is queued for cancellation on the worker's next
+// heartbeat — if it ever beats again.
+func (c *Coordinator) expireDue(now time.Time) {
+	c.mu.Lock()
+	var expired []*lease
+	for id, l := range c.leases {
+		if now.After(l.deadline) {
+			expired = append(expired, l)
+			delete(c.leases, id)
+			if w := c.workers[l.worker]; w != nil {
+				w.stale = append(w.stale, l.jobID)
+				w.lastBeat = time.Time{} // suspect until it beats again
+				w.failures++
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, l := range expired {
+		c.metrics.leaseExpirations.Inc()
+		c.log.Info("fleet: lease expired", "worker", l.worker, "job", l.jobID,
+			"renewals", l.renewals)
+		l.cancel()
+	}
+}
+
+// grantLease records a shard assignment and returns its lease.
+func (c *Coordinator) grantLease(workerName, jobID string, cancel context.CancelFunc) *lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.leaseSeq++
+	l := &lease{
+		id:       c.leaseSeq,
+		worker:   workerName,
+		jobID:    jobID,
+		deadline: time.Now().Add(c.opts.LeaseTTL),
+		cancel:   cancel,
+	}
+	c.leases[l.id] = l
+	if w := c.workers[workerName]; w != nil {
+		w.dispatches++
+	}
+	return l
+}
+
+// renewLease extends one lease from stream activity; false when the lease
+// is no longer held.
+func (c *Coordinator) renewLease(id int64) bool {
+	c.mu.Lock()
+	l, ok := c.leases[id]
+	if ok {
+		l.deadline = time.Now().Add(c.opts.LeaseTTL)
+		l.renewals++
+		if w := c.workers[l.worker]; w != nil {
+			w.lastBeat = time.Now()
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		c.metrics.leaseRenewals.Inc()
+	}
+	return ok
+}
+
+// releaseLease removes a lease; false when it was already expired or
+// released — the stale-lease signal the duplicate-completion counter
+// hangs off.
+func (c *Coordinator) releaseLease(id int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.leases[id]; !ok {
+		return false
+	}
+	delete(c.leases, id)
+	return true
+}
+
+// alive reports whether w counts as healthy for dispatch.
+func (c *Coordinator) alive(w *worker, now time.Time) bool {
+	return !w.departed && !w.lastBeat.IsZero() && now.Sub(w.lastBeat) < c.opts.LeaseTTL
+}
+
+// pickWorker chooses a healthy worker round-robin, preferring ones not in
+// exclude (workers that already lost this shard); when every healthy
+// worker is excluded it falls back to any healthy one — a retried worker
+// beats a degraded shard. nil when no worker is healthy at all.
+func (c *Coordinator) pickWorker(exclude map[string]bool) *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	var healthy, preferred []*worker
+	for _, w := range c.workers {
+		if !c.alive(w, now) {
+			continue
+		}
+		healthy = append(healthy, w)
+		if !exclude[w.name] {
+			preferred = append(preferred, w)
+		}
+	}
+	pool := preferred
+	if len(pool) == 0 {
+		pool = healthy
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].name < pool[j].name })
+	w := pool[int(c.rr)%len(pool)]
+	c.rr++
+	return w
+}
+
+func (c *Coordinator) countWorkers(aliveOnly bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	n := 0
+	for _, w := range c.workers {
+		if w.departed {
+			continue
+		}
+		if !aliveOnly || c.alive(w, now) {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) countLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.leases)
+}
+
+// Workers reports the registry for the /v1/fleet/workers view.
+func (c *Coordinator) Workers() []WorkerView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	views := make([]WorkerView, 0, len(c.workers))
+	for _, w := range c.workers {
+		views = append(views, WorkerView{
+			Name:       w.name,
+			URL:        w.url,
+			Alive:      c.alive(w, now),
+			Departed:   w.departed,
+			LastBeat:   w.lastBeat,
+			Dispatches: w.dispatches,
+			Failures:   w.failures,
+		})
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
+	return views
+}
+
+// WorkerView is the wire form of one registry entry.
+type WorkerView struct {
+	Name     string    `json:"name"`
+	URL      string    `json:"url"`
+	Alive    bool      `json:"alive"`
+	Departed bool      `json:"departed,omitempty"`
+	LastBeat time.Time `json:"last_beat,omitzero"`
+	// Dispatches counts shards sent here; Failures shards lost here.
+	Dispatches uint64 `json:"dispatches"`
+	Failures   uint64 `json:"failures,omitempty"`
+}
+
+// registerRequest and friends are the /v1/fleet control-plane wire forms.
+type registerRequest struct {
+	Worker string `json:"worker"`
+	URL    string `json:"url"`
+}
+
+type registerResponse struct {
+	// LeaseTTLMS and HeartbeatMS tell the worker the lease discipline it
+	// registered into: beat every HeartbeatMS or lose your shards after
+	// LeaseTTLMS.
+	LeaseTTLMS  int64 `json:"lease_ttl_ms"`
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+type heartbeatResponse struct {
+	// Cancel lists remote job IDs the worker should cancel: shards
+	// rescheduled away while it was presumed dead. Running them to
+	// completion would only produce a duplicate result the coordinator
+	// discards.
+	Cancel []string `json:"cancel,omitempty"`
+}
+
+// Routes returns the control-plane handlers keyed by mux pattern — made to
+// be passed as service.ServerOptions.Mounts so fleet requests share the
+// job API's port, middleware and access log.
+func (c *Coordinator) Routes() map[string]http.Handler {
+	return map[string]http.Handler{
+		"POST /v1/fleet/register":  http.HandlerFunc(c.handleRegister),
+		"POST /v1/fleet/heartbeat": http.HandlerFunc(c.handleHeartbeat),
+		"POST /v1/fleet/leave":     http.HandlerFunc(c.handleLeave),
+		"GET /v1/fleet/workers":    http.HandlerFunc(c.handleWorkers),
+	}
+}
+
+func fleetJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func fleetError(w http.ResponseWriter, code int, err error) {
+	fleetJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fleetError(w, http.StatusBadRequest, fmt.Errorf("decode register: %w", err))
+		return
+	}
+	if req.Worker == "" || req.URL == "" {
+		fleetError(w, http.StatusBadRequest, errors.New("fleet: register needs worker and url"))
+		return
+	}
+	c.mu.Lock()
+	// Re-registration (a restarted worker) replaces the entry wholesale:
+	// the old process's leases will expire on their own and reschedule.
+	c.workers[req.Worker] = &worker{name: req.Worker, url: req.URL, lastBeat: time.Now()}
+	c.mu.Unlock()
+	c.log.Info("fleet: worker registered", "worker", req.Worker, "url", req.URL)
+	fleetJSON(w, http.StatusOK, registerResponse{
+		LeaseTTLMS:  c.opts.LeaseTTL.Milliseconds(),
+		HeartbeatMS: c.opts.Heartbeat.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fleetError(w, http.StatusBadRequest, fmt.Errorf("decode heartbeat: %w", err))
+		return
+	}
+	c.mu.Lock()
+	wk, ok := c.workers[req.Worker]
+	var stale []string
+	renewed := 0
+	if ok {
+		now := time.Now()
+		wk.lastBeat = now // a beat always revives a suspect
+		wk.departed = false
+		stale, wk.stale = wk.stale, nil
+		// A heartbeat proves the process lives, so every lease it holds
+		// extends — steps can be minutes apart on big shards, and the
+		// stream staying quiet must not look like death.
+		for _, l := range c.leases {
+			if l.worker == req.Worker {
+				l.deadline = now.Add(c.opts.LeaseTTL)
+				l.renewals++
+				renewed++
+			}
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		// Unknown workers re-register; a coordinator restart must not
+		// strand a beating fleet.
+		fleetError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown worker %q", req.Worker))
+		return
+	}
+	c.metrics.heartbeats.Inc()
+	for i := 0; i < renewed; i++ {
+		c.metrics.leaseRenewals.Inc()
+	}
+	fleetJSON(w, http.StatusOK, heartbeatResponse{Cancel: stale})
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fleetError(w, http.StatusBadRequest, fmt.Errorf("decode leave: %w", err))
+		return
+	}
+	c.mu.Lock()
+	wk, ok := c.workers[req.Worker]
+	var dropped []*lease
+	if ok {
+		wk.departed = true
+		for id, l := range c.leases {
+			if l.worker == req.Worker {
+				dropped = append(dropped, l)
+				delete(c.leases, id)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		fleetError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown worker %q", req.Worker))
+		return
+	}
+	c.log.Info("fleet: worker departed", "worker", req.Worker, "leases_dropped", len(dropped))
+	// Cancel the watches so their shards reschedule immediately; a
+	// departing worker has already checkpointed what it could.
+	for _, l := range dropped {
+		l.cancel()
+	}
+	fleetJSON(w, http.StatusOK, map[string]string{"status": "bye"})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	fleetJSON(w, http.StatusOK, c.Workers())
+}

@@ -1,0 +1,350 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet/retry"
+	"repro/internal/service"
+)
+
+// shardRun is the coordinator-side state of one shard across however many
+// workers it takes: the latest pulled checkpoint survives worker deaths,
+// so every reassignment resumes instead of restarting.
+type shardRun struct {
+	cfg         core.Config
+	spec        service.Spec
+	snap        []byte
+	reschedules int
+	update      func(service.RemoteUpdate)
+}
+
+// outcome classifies one dispatch attempt.
+type outcome int
+
+const (
+	outcomeDone     outcome = iota // shard completed, result in hand
+	outcomeFailed                  // shard failed deterministically; retrying elsewhere cannot help
+	outcomeCanceled                // the caller's context ended
+	outcomeLost                    // worker died or went silent; reschedule
+)
+
+// RunShard implements service.RemoteRunner: it dispatches one job shard to
+// the fleet and shepherds it to completion, rescheduling from the last
+// pulled checkpoint when the assigned worker dies. It returns an error
+// wrapping service.ErrNoWorkers — the engine's degrade-to-local signal —
+// when no healthy worker exists or the shard exhausted its reschedule
+// budget; by then update has delivered the freshest checkpoint, so the
+// local run resumes rather than restarts.
+func (c *Coordinator) RunShard(ctx context.Context, cfg core.Config, update func(service.RemoteUpdate)) (*core.Result, error) {
+	spec, err := service.SpecOf(cfg)
+	if err != nil {
+		// Untransportable configs are not a fleet failure; run locally.
+		return nil, fmt.Errorf("fleet: %v: %w", err, service.ErrNoWorkers)
+	}
+	spec.RetainSnapshot = true
+	sr := &shardRun{cfg: cfg, spec: spec, update: update}
+	lost := map[string]bool{}
+	for {
+		w := c.pickWorker(lost)
+		if w == nil {
+			return nil, fmt.Errorf("fleet: %w", service.ErrNoWorkers)
+		}
+		res, out, err := c.runOn(ctx, w, sr)
+		switch out {
+		case outcomeDone:
+			c.metrics.dispatches.With("done").Inc()
+			return res, nil
+		case outcomeFailed:
+			c.metrics.dispatches.With("failed").Inc()
+			return nil, err
+		case outcomeCanceled:
+			return nil, err
+		default: // outcomeLost
+			c.metrics.dispatches.With("lost").Inc()
+			c.suspectWorker(w.name)
+			lost[w.name] = true
+			sr.reschedules++
+			c.metrics.reschedules.Inc()
+			c.log.Warn("fleet: shard lost, rescheduling",
+				"worker", w.name, "reschedules", sr.reschedules, "cause", err)
+			if sr.reschedules > c.opts.MaxReschedules {
+				c.metrics.dispatches.With("degraded").Inc()
+				return nil, fmt.Errorf("fleet: shard lost %d times (last: %v): %w",
+					sr.reschedules, err, service.ErrNoWorkers)
+			}
+		}
+	}
+}
+
+// suspectWorker zeroes a worker's proof of life after it lost a shard, so
+// dispatch avoids it until its next heartbeat vouches for it again.
+func (c *Coordinator) suspectWorker(name string) {
+	c.mu.Lock()
+	if w := c.workers[name]; w != nil {
+		w.lastBeat = time.Time{}
+		w.failures++
+	}
+	c.mu.Unlock()
+}
+
+// runOn executes one dispatch attempt: submit the shard (seeded with the
+// latest checkpoint), take a lease, and watch the job's SSE stream —
+// forwarding steps, pulling checkpoints, renewing the lease — until the
+// job ends or the worker is lost. The lease's cancel func aborts the
+// attempt context, which is how expiry turns into a reschedule.
+func (c *Coordinator) runOn(ctx context.Context, w *worker, sr *shardRun) (*core.Result, outcome, error) {
+	attempt, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	spec := sr.spec
+	spec.Snapshot = sr.snap
+	var jv service.JobView
+	if err := c.post(attempt, w.url+"/v1/jobs", spec, &jv); err != nil {
+		return nil, c.classify(ctx, attempt, err), fmt.Errorf("fleet: submit to %s: %w", w.name, err)
+	}
+	ls := c.grantLease(w.name, jv.ID, cancel)
+	defer c.releaseLease(ls.id)
+	sr.update(service.RemoteUpdate{Worker: w.name, Reschedules: sr.reschedules})
+
+	sent := 0
+	for {
+		final, err := c.watch(attempt, w, jv.ID, ls.id, sr, &sent)
+		if err != nil {
+			if out := c.classify(ctx, attempt, err); out != outcomeLost {
+				if out == outcomeCanceled {
+					c.cancelRemote(w, jv.ID)
+				}
+				return nil, out, err
+			}
+			// The stream broke but the attempt is still live: ask once
+			// (with retries) whether the job survived; reconnecting with
+			// Last-Event-ID resumes exactly after the last step seen.
+			var st service.JobView
+			if perr := c.get(attempt, w.url+"/v1/jobs/"+jv.ID, &st); perr != nil {
+				return nil, c.classify(ctx, attempt, perr),
+					fmt.Errorf("fleet: worker %s unreachable: %w", w.name, perr)
+			}
+			if !st.State.Terminal() {
+				continue
+			}
+			final = &st
+		}
+		// The shard reached a terminal state. Only the lease holder's
+		// answer counts: a worker finishing after its lease expired is a
+		// duplicate completion — the shard already moved on.
+		if !c.releaseLease(ls.id) {
+			c.metrics.duplicateCompletions.Inc()
+			return nil, outcomeLost, fmt.Errorf("fleet: stale completion from %s (lease expired)", w.name)
+		}
+		switch final.State {
+		case service.StateDone:
+			var rv service.ResultView
+			if err := c.get(ctx, w.url+"/v1/jobs/"+jv.ID+"/result", &rv); err != nil {
+				return nil, outcomeLost, fmt.Errorf("fleet: fetch result from %s: %w", w.name, err)
+			}
+			return rv.Result(sr.cfg), outcomeDone, nil
+		case service.StateFailed:
+			return nil, outcomeFailed, fmt.Errorf("fleet: shard failed on %s: %s", w.name, final.Error)
+		default: // canceled remotely (operator action or stale-cancel race)
+			return nil, outcomeLost, fmt.Errorf("fleet: shard canceled on %s", w.name)
+		}
+	}
+}
+
+// classify maps an attempt error to its outcome: the caller's context
+// ending is a cancellation, the attempt context alone ending is a lease
+// expiry (lost), anything else is a lost worker.
+func (c *Coordinator) classify(ctx, attempt context.Context, err error) outcome {
+	switch {
+	case ctx.Err() != nil:
+		return outcomeCanceled
+	case attempt.Err() != nil:
+		return outcomeLost // lease expired or worker departed
+	case retry.IsPermanent(err):
+		return outcomeLost // the worker rejected the request outright
+	default:
+		return outcomeLost
+	}
+}
+
+// watch consumes the job's SSE stream, renewing the lease on every event
+// (keepalives included — a quiet stream from a live process is not
+// death), forwarding step results, and pulling the retained checkpoint at
+// each step boundary. Returns the final JobView when the stream delivered
+// the "done" event, or an error when the stream broke first.
+func (c *Coordinator) watch(ctx context.Context, w *worker, jobID string, leaseID int64, sr *shardRun, sent *int) (*service.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/jobs/"+jobID+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	if *sent > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprintf("s%dr0", *sent))
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := retry.CheckResponse(resp); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil, err
+	}
+
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var event string
+	var data bytes.Buffer
+	for scan.Scan() {
+		line := scan.Text()
+		switch {
+		case line == "":
+			if event != "" {
+				if final, err := c.handleEvent(ctx, w, jobID, leaseID, sr, sent, event, data.Bytes()); final != nil || err != nil {
+					return final, err
+				}
+			}
+			event = ""
+			data.Reset()
+		case strings.HasPrefix(line, ":"):
+			// Keepalive comment: proof of life, nothing else. A failed
+			// renewal (lease already expired) needs no action here — the
+			// expiry path cancels this watch's context itself, and a
+			// completion racing past it is caught as a duplicate.
+			c.renewLease(leaseID)
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(line[len("data:"):]))
+		}
+		// id: lines need no parsing here — sent counts steps directly.
+	}
+	if err := scan.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF // stream ended without a done event
+}
+
+// handleEvent processes one SSE event; a non-nil JobView is the stream's
+// terminal "done" payload.
+func (c *Coordinator) handleEvent(ctx context.Context, w *worker, jobID string, leaseID int64, sr *shardRun, sent *int, event string, data []byte) (*service.JobView, error) {
+	c.renewLease(leaseID)
+	switch event {
+	case "step":
+		var sv service.StepView
+		if err := json.Unmarshal(data, &sv); err != nil {
+			return nil, fmt.Errorf("fleet: bad step event: %w", err)
+		}
+		*sent++
+		// Pull the checkpoint this step boundary retained; losing one
+		// pull only costs resume granularity, never correctness.
+		var snap []byte
+		if got, err := c.getRaw(ctx, w.url+"/v1/jobs/"+jobID+"/snapshot"); err == nil {
+			snap = got
+			sr.snap = got
+			c.metrics.snapshotPulls.Inc()
+		}
+		sr.update(service.RemoteUpdate{
+			Worker:      w.name,
+			Reschedules: sr.reschedules,
+			Step:        &sv,
+			Snapshot:    snap,
+		})
+	case "done":
+		var jv service.JobView
+		if err := json.Unmarshal(data, &jv); err != nil {
+			return nil, fmt.Errorf("fleet: bad done event: %w", err)
+		}
+		return &jv, nil
+	}
+	return nil, nil
+}
+
+// cancelRemote best-effort cancels a remote job when the caller's context
+// ended; the coordinator is shutting the shard down, not the worker.
+func (c *Coordinator) cancelRemote(w *worker, jobID string) {
+	req, err := http.NewRequest(http.MethodDelete, w.url+"/v1/jobs/"+jobID, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// post sends one JSON request under the retry policy and decodes the JSON
+// response into out.
+func (c *Coordinator) post(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return retry.Permanent(err)
+	}
+	return c.do(ctx, http.MethodPost, url, body, func(resp *http.Response) error {
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
+}
+
+// get fetches one JSON document under the retry policy.
+func (c *Coordinator) get(ctx context.Context, url string, out any) error {
+	return c.do(ctx, http.MethodGet, url, nil, func(resp *http.Response) error {
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
+}
+
+// getRaw fetches one binary document under the retry policy.
+func (c *Coordinator) getRaw(ctx context.Context, url string) ([]byte, error) {
+	var data []byte
+	err := c.do(ctx, http.MethodGet, url, nil, func(resp *http.Response) error {
+		var rerr error
+		data, rerr = io.ReadAll(resp.Body)
+		return rerr
+	})
+	return data, err
+}
+
+// do is the shared retrying request core: transient transport errors, 5xx
+// and 429 retry under the policy (feeding the fleet_retries counter);
+// other 4xx fail permanently.
+func (c *Coordinator) do(ctx context.Context, method, url string, body []byte, read func(*http.Response) error) error {
+	pol := c.opts.Retry
+	pol.OnRetry = func(attempt int, delay time.Duration, err error) {
+		c.metrics.retries.Inc()
+	}
+	return retry.Do(ctx, pol, func(ctx context.Context) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if err := retry.CheckResponse(resp); err != nil {
+			io.Copy(io.Discard, resp.Body)
+			return err
+		}
+		if err := read(resp); err != nil {
+			// A payload that fails to read or parse is a broken
+			// transfer, not a broken request: retry it.
+			return fmt.Errorf("fleet: read %s: %w", url, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,654 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet/retry"
+	"repro/internal/mesh"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// fastConfig is a small deterministic single-thread run: one thread keeps
+// the arithmetic bit-reproducible, so remote and local executions of the
+// same config must agree to the last bit.
+func fastConfig(seed uint64) core.Config {
+	cfg := core.Default(mesh.CSP)
+	cfg.NX, cfg.NY = 32, 32
+	cfg.Particles = 300
+	cfg.Steps = 4
+	cfg.Threads = 1
+	cfg.Seed = seed
+	cfg.KeepCells = true
+	return cfg
+}
+
+// slowConfig spans many SSE ticks, leaving room to kill a worker mid-run.
+func slowConfig() core.Config {
+	cfg := core.Default(mesh.CSP)
+	cfg.NX, cfg.NY = 64, 64
+	cfg.Particles = 20000
+	cfg.Steps = 10
+	cfg.Threads = 1
+	cfg.Seed = 42
+	cfg.KeepCells = true
+	return cfg
+}
+
+// localResult runs cfg on a plain fleet-less engine — the bit-exactness
+// reference every fleet execution is pinned against.
+func localResult(t *testing.T, cfg core.Config) *core.Result {
+	t.Helper()
+	e := service.New(service.Options{Shards: 1})
+	defer e.Close()
+	j, err := e.Submit(cfg)
+	if err != nil {
+		t.Fatalf("local submit: %v", err)
+	}
+	<-j.Done()
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("local result: %v", err)
+	}
+	return res
+}
+
+// assertSamePhysics pins a fleet result to the local reference bit for
+// bit: tally, per-cell map, full counter vector, conservation audit.
+func assertSamePhysics(t *testing.T, got, want *core.Result) {
+	t.Helper()
+	if got.TallyTotal != want.TallyTotal {
+		t.Errorf("TallyTotal = %x, want %x", got.TallyTotal, want.TallyTotal)
+	}
+	if !reflect.DeepEqual(got.Cells, want.Cells) {
+		t.Error("per-cell tallies differ")
+	}
+	if got.Counter != want.Counter {
+		t.Errorf("counters differ:\n got %+v\nwant %+v", got.Counter, want.Counter)
+	}
+	if got.Conservation.RelativeError != want.Conservation.RelativeError {
+		t.Errorf("conservation error = %x, want %x",
+			got.Conservation.RelativeError, want.Conservation.RelativeError)
+	}
+	if got.Leakage != want.Leakage {
+		t.Errorf("leakage differs:\n got %+v\nwant %+v", got.Leakage, want.Leakage)
+	}
+}
+
+// clusterWorker is one in-process worker: a real engine behind a real
+// HTTP server, with a controllable heartbeat loop standing in for the
+// Agent so tests can stop beats (lost heartbeat) or crash the process.
+type clusterWorker struct {
+	name     string
+	engine   *service.Engine
+	srv      *httptest.Server
+	stopBeat chan struct{}
+	beatDone chan struct{}
+}
+
+type cluster struct {
+	t      *testing.T
+	coord  *Coordinator
+	engine *service.Engine // coordinator-side engine, Remote wired
+	srv    *httptest.Server
+}
+
+// newCluster builds a coordinator (engine + HTTP server + fleet control
+// plane) with the given options; add workers with addWorker.
+func newCluster(t *testing.T, opts Options) *cluster {
+	t.Helper()
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	if opts.LeaseTTL == 0 {
+		opts.LeaseTTL = 2 * time.Second
+	}
+	coord := NewCoordinator(opts)
+	t.Cleanup(coord.Close)
+	engine := service.New(service.Options{
+		Shards:   2,
+		Registry: opts.Registry,
+		Remote:   coord,
+	})
+	t.Cleanup(engine.Close)
+	srv := httptest.NewServer(service.NewServerWith(engine, service.ServerOptions{
+		Mounts: coord.Routes(),
+	}))
+	t.Cleanup(srv.Close)
+	return &cluster{t: t, coord: coord, engine: engine, srv: srv}
+}
+
+func (c *cluster) postJSON(path string, in, out any) error {
+	body, _ := json.Marshal(in)
+	resp, err := http.Post(c.srv.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// addWorker boots a worker engine+server, registers it, and starts its
+// heartbeat loop.
+func (c *cluster) addWorker(name string) *clusterWorker {
+	c.t.Helper()
+	engine := service.New(service.Options{Shards: 1})
+	srv := httptest.NewServer(service.NewServer(engine))
+	w := &clusterWorker{
+		name:     name,
+		engine:   engine,
+		srv:      srv,
+		stopBeat: make(chan struct{}),
+		beatDone: make(chan struct{}),
+	}
+	if err := c.postJSON("/v1/fleet/register", registerRequest{Worker: name, URL: srv.URL}, nil); err != nil {
+		c.t.Fatalf("register %s: %v", name, err)
+	}
+	go func() {
+		defer close(w.beatDone)
+		t := time.NewTicker(40 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stopBeat:
+				return
+			case <-t.C:
+				var resp heartbeatResponse
+				if err := c.postJSON("/v1/fleet/heartbeat", heartbeatRequest{Worker: name}, &resp); err == nil {
+					for _, id := range resp.Cancel {
+						engine.Cancel(id)
+					}
+				}
+			}
+		}
+	}()
+	c.t.Cleanup(func() { w.silence(); engine.Close(); srv.Close() })
+	return w
+}
+
+// silence stops the worker's heartbeats (idempotent).
+func (w *clusterWorker) silence() {
+	select {
+	case <-w.stopBeat:
+	default:
+		close(w.stopBeat)
+	}
+	<-w.beatDone
+}
+
+// crash simulates a SIGKILL: beats stop, live connections are severed,
+// the listener closes, the engine dies. No goodbye.
+func (w *clusterWorker) crash() {
+	w.silence()
+	w.srv.CloseClientConnections()
+	w.srv.Close()
+	w.engine.Close()
+}
+
+func waitDone(t *testing.T, j *service.Job, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(timeout):
+		t.Fatal("job did not finish in time")
+	}
+}
+
+// TestFleetRunsShardRemotely pins the basic dispatch path: the shard runs
+// on a worker, the job view names it, and the physics is bit-identical to
+// a local run.
+func TestFleetRunsShardRemotely(t *testing.T) {
+	c := newCluster(t, Options{})
+	w := c.addWorker("w1")
+	cfg := fastConfig(1)
+
+	j, err := c.engine.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 30*time.Second)
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("fleet job failed: %v", err)
+	}
+	st := j.Status()
+	if st.Worker != "w1" {
+		t.Errorf("assigned worker = %q, want w1", st.Worker)
+	}
+	if st.Reschedules != 0 {
+		t.Errorf("reschedules = %d, want 0", st.Reschedules)
+	}
+	if len(st.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", st.Warnings)
+	}
+	assertSamePhysics(t, res, localResult(t, cfg))
+	if got := c.coord.metrics.dispatches.With("done").Value(); got < 1 {
+		t.Errorf("fleet_dispatches_total{outcome=done} = %v, want >= 1", got)
+	}
+	// The worker really ran it: its engine completed one job.
+	if runs := w.engine.Stats().Runs; runs != 1 {
+		t.Errorf("worker runs = %d, want 1", runs)
+	}
+}
+
+// TestEnsembleAcrossFleet fans ensemble replicas across two workers and
+// pins the merged statistics against the single-process reference.
+func TestEnsembleAcrossFleet(t *testing.T) {
+	c := newCluster(t, Options{})
+	c.addWorker("w1")
+	c.addWorker("w2")
+	cfg := fastConfig(7)
+	cfg.Replicas = 3
+
+	j, err := c.engine.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 60*time.Second)
+	if _, err := j.Result(); err != nil {
+		t.Fatalf("ensemble failed: %v", err)
+	}
+	ens := j.Ensemble()
+	if ens == nil {
+		t.Fatal("no ensemble statistics")
+	}
+
+	// Reference: same ensemble, no fleet.
+	ref := service.New(service.Options{Shards: 2})
+	defer ref.Close()
+	rj, err := ref.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, rj, 60*time.Second)
+	rens := rj.Ensemble()
+	if rens == nil {
+		t.Fatal("no reference ensemble")
+	}
+	if ens.MeanTotal != rens.MeanTotal {
+		t.Errorf("MeanTotal = %x, want %x", ens.MeanTotal, rens.MeanTotal)
+	}
+	if !reflect.DeepEqual(ens.Totals, rens.Totals) {
+		t.Errorf("replica totals differ: %v vs %v", ens.Totals, rens.Totals)
+	}
+	if !reflect.DeepEqual(ens.RelErr, rens.RelErr) {
+		t.Error("per-cell relative errors differ")
+	}
+	for _, rv := range j.Replicas() {
+		if rv.Worker == "" {
+			t.Errorf("replica %d has no worker attribution", rv.Replica)
+		}
+	}
+}
+
+// TestWorkerCrashReschedulesFromCheckpoint is the flagship robustness pin:
+// kill a worker mid-run and the shard must finish on the survivor, resumed
+// from the pulled checkpoint, with physics bit-identical to an
+// uninterrupted single-process run.
+func TestWorkerCrashReschedulesFromCheckpoint(t *testing.T) {
+	c := newCluster(t, Options{
+		LeaseTTL: time.Second,
+		Retry:    retryFast(),
+	})
+	w1 := c.addWorker("w1")
+	w2 := c.addWorker("w2")
+	cfg := slowConfig()
+
+	j, err := c.engine.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the coordinator has forwarded at least two remote steps
+	// (so it has pulled a checkpoint), then kill the assigned worker.
+	var victim *clusterWorker
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := j.Status()
+		if st.StepsDone >= 2 && st.Worker != "" {
+			victim = w1
+			if st.Worker == "w2" {
+				victim = w2
+			}
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatal("job finished before the crash could be injected; enlarge slowConfig")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no remote steps observed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	victim.crash()
+
+	waitDone(t, j, 120*time.Second)
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("job failed after crash: %v", err)
+	}
+	st := j.Status()
+	if st.Reschedules < 1 {
+		t.Errorf("reschedules = %d, want >= 1", st.Reschedules)
+	}
+	if st.Worker == victim.name {
+		t.Errorf("final worker is still the victim %q", victim.name)
+	}
+	if got := c.coord.metrics.reschedules.Value(); got < 1 {
+		t.Errorf("fleet_reschedules_total = %v, want >= 1", got)
+	}
+	if got := c.coord.metrics.snapshotPulls.Value(); got < 1 {
+		t.Errorf("fleet_snapshot_pulls_total = %v, want >= 1", got)
+	}
+	// The survivor resumed from the checkpoint rather than restarting.
+	survivor := w1
+	if victim == w1 {
+		survivor = w2
+	}
+	resumed := false
+	for _, wj := range survivor.engine.Jobs() {
+		if wj.Status().ResumedFrom >= 0 {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Error("rescheduled shard did not resume from a checkpoint")
+	}
+	assertSamePhysics(t, res, localResult(t, cfg))
+}
+
+// retryFast is an aggressive policy so lost-worker detection doesn't
+// dominate test wallclock.
+func retryFast() retry.Policy {
+	return retry.Policy{Initial: 10 * time.Millisecond, Max: 50 * time.Millisecond, Attempts: 3}
+}
+
+// TestLostHeartbeatExpiresLease registers a stalled worker — accepts the
+// shard, streams nothing, beats never — and pins the janitor path: the
+// lease expires, the shard reschedules onto a healthy worker, and the
+// stalled worker's orphan job is queued for cancellation.
+func TestLostHeartbeatExpiresLease(t *testing.T) {
+	c := newCluster(t, Options{
+		LeaseTTL: 200 * time.Millisecond,
+		Retry:    retryFast(),
+	})
+	// "a-stall" sorts before "b-real", so the round-robin cursor (at 0)
+	// deterministically dispatches the first shard to the stalled worker.
+	stallJob := `{"id":"job-000001","state":"running","progress":0,"step":0,"steps":4,"submitted":"2026-01-01T00:00:00Z"}`
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(stallJob))
+	})
+	mux.HandleFunc("GET /v1/jobs/job-000001/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // stream forever, send nothing
+	})
+	mux.HandleFunc("GET /v1/jobs/job-000001", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(stallJob))
+	})
+	stall := httptest.NewServer(mux)
+	defer stall.Close()
+	if err := c.postJSON("/v1/fleet/register", registerRequest{Worker: "a-stall", URL: stall.URL}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.addWorker("b-real")
+
+	cfg := fastConfig(3)
+	j, err := c.engine.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 60*time.Second)
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	st := j.Status()
+	if st.Reschedules < 1 {
+		t.Errorf("reschedules = %d, want >= 1", st.Reschedules)
+	}
+	if st.Worker != "b-real" {
+		t.Errorf("final worker = %q, want b-real", st.Worker)
+	}
+	if got := c.coord.metrics.leaseExpirations.Value(); got < 1 {
+		t.Errorf("fleet_lease_expirations_total = %v, want >= 1", got)
+	}
+	assertSamePhysics(t, res, localResult(t, cfg))
+
+	// The orphaned remote job is delivered for cancellation on the
+	// stalled worker's next heartbeat — the stale-shard protocol.
+	var hb heartbeatResponse
+	if err := c.postJSON("/v1/fleet/heartbeat", heartbeatRequest{Worker: "a-stall"}, &hb); err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Cancel) != 1 || hb.Cancel[0] != "job-000001" {
+		t.Errorf("heartbeat cancel list = %v, want [job-000001]", hb.Cancel)
+	}
+}
+
+// TestStaleLeaseDuplicateCompletion steals a shard's lease mid-run (the
+// expiry race: lease gone, watch not yet cancelled). The completion
+// arriving under the dead lease must be discarded as a duplicate, and with
+// no healthy worker left the engine must degrade to local execution — with
+// a warning, and still bit-identical physics.
+func TestStaleLeaseDuplicateCompletion(t *testing.T) {
+	c := newCluster(t, Options{Retry: retryFast()})
+	w := c.addWorker("w1")
+	cfg := slowConfig()
+
+	j, err := c.engine.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the lease, then yank it without cancelling the watch.
+	deadline := time.Now().Add(60 * time.Second)
+	for c.coord.countLeases() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no lease granted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.silence() // no beats: the worker stays suspect after the steal
+	c.coord.mu.Lock()
+	var stolen int64
+	for id := range c.coord.leases {
+		stolen = id
+	}
+	c.coord.mu.Unlock()
+	c.coord.releaseLease(stolen)
+	c.coord.suspectWorker("w1")
+
+	waitDone(t, j, 120*time.Second)
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if got := c.coord.metrics.duplicateCompletions.Value(); got < 1 {
+		t.Errorf("fleet_duplicate_completions_total = %v, want >= 1", got)
+	}
+	st := j.Status()
+	degraded := false
+	for _, warning := range st.Warnings {
+		if warning == "fleet: no workers reachable; degraded to local execution" {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Errorf("no degradation warning on job; warnings = %v", st.Warnings)
+	}
+	assertSamePhysics(t, res, localResult(t, cfg))
+}
+
+// TestGracefulLeaveReschedules: a worker leaving the fleet has its shards
+// rescheduled immediately, without waiting out the lease TTL.
+func TestGracefulLeaveReschedules(t *testing.T) {
+	c := newCluster(t, Options{Retry: retryFast()})
+	workers := map[string]*clusterWorker{
+		"w1": c.addWorker("w1"),
+		"w2": c.addWorker("w2"),
+	}
+	cfg := slowConfig()
+
+	j, err := c.engine.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assigned string
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if assigned = j.Status().Worker; assigned != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shard never assigned")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A real agent stops heartbeating before it announces departure — a
+	// beat after leave would deliberately revive the worker.
+	workers[assigned].silence()
+	if err := c.postJSON("/v1/fleet/leave", heartbeatRequest{Worker: assigned}, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 120*time.Second)
+	if _, err := j.Result(); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	st := j.Status()
+	if st.Reschedules < 1 {
+		t.Errorf("reschedules = %d, want >= 1", st.Reschedules)
+	}
+	if st.Worker == assigned {
+		t.Errorf("final worker %q is the one that left", st.Worker)
+	}
+	for _, wv := range c.coord.Workers() {
+		if wv.Name == assigned && !wv.Departed {
+			t.Errorf("worker %s not marked departed", assigned)
+		}
+	}
+}
+
+// TestChaosClusterCompletes runs shards through a deterministically faulty
+// transport — drops, 500s, delays, truncations — and pins that retries,
+// stream resumes and reschedules still converge on bit-exact physics.
+func TestChaosClusterCompletes(t *testing.T) {
+	chaos := NewChaos(7)
+	chaos.Drop = 0.15
+	chaos.Err500 = 0.10
+	chaos.Partial = 0.05
+	chaos.Delay = 0.05
+	chaos.DelayDur = 5 * time.Millisecond
+	c := newCluster(t, Options{
+		Chaos:          chaos,
+		MaxReschedules: 8,
+		Retry:          retry.Policy{Initial: 5 * time.Millisecond, Max: 50 * time.Millisecond, Attempts: 6},
+	})
+	c.addWorker("w1")
+	c.addWorker("w2")
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := fastConfig(seed)
+		j, err := c.engine.Submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j, 120*time.Second)
+		res, err := j.Result()
+		if err != nil {
+			t.Fatalf("seed %d: job failed under chaos: %v", seed, err)
+		}
+		assertSamePhysics(t, res, localResult(t, cfg))
+	}
+	if got := c.coord.metrics.retries.Value(); got < 1 {
+		t.Errorf("fleet_retries_total = %v, want >= 1 under chaos", got)
+	}
+}
+
+// TestAgentLifecycle drives the real Agent: register, heartbeat, stale
+// cancel delivery, graceful leave.
+func TestAgentLifecycle(t *testing.T) {
+	c := newCluster(t, Options{Heartbeat: 30 * time.Millisecond})
+	engine := service.New(service.Options{Shards: 1})
+	defer engine.Close()
+	srv := httptest.NewServer(service.NewServer(engine))
+	defer srv.Close()
+
+	agent, err := NewAgent(AgentOptions{
+		Coordinator: c.srv.URL,
+		Self:        srv.URL,
+		Name:        "agent-1",
+		Engine:      engine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	agentDone := make(chan error, 1)
+	go func() { agentDone <- agent.Run(ctx) }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	alive := func() bool {
+		for _, w := range c.coord.Workers() {
+			if w.Name == "agent-1" && w.Alive {
+				return true
+			}
+		}
+		return false
+	}
+	for !alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("agent never became alive")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Stale-shard delivery: plant a long job, mark it stale, and the next
+	// heartbeat must cancel it on the worker's engine.
+	j, err := engine.Submit(slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.coord.mu.Lock()
+	c.coord.workers["agent-1"].stale = append(c.coord.workers["agent-1"].stale, j.ID())
+	c.coord.mu.Unlock()
+	for !j.Status().State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("stale job never canceled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := j.Status().State; st != service.StateCanceled {
+		t.Errorf("stale job state = %s, want canceled", st)
+	}
+
+	cancel()
+	select {
+	case <-agentDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("agent did not exit")
+	}
+	for _, w := range c.coord.Workers() {
+		if w.Name == "agent-1" && !w.Departed {
+			t.Error("agent did not leave gracefully")
+		}
+	}
+}

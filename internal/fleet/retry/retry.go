@@ -1,0 +1,226 @@
+// Package retry is the fleet's reusable transient-failure helper:
+// exponential backoff with multiplicative growth, a cap, optional
+// proportional jitter, and two budgets (attempt count and total elapsed
+// time). It understands the two signals an HTTP control plane emits that
+// plain backoff must not ignore: permanent errors (retrying cannot help —
+// a 404, a validation failure) and server-directed pacing (Retry-After on
+// a 429 or 503, which overrides the computed backoff when longer).
+//
+// The jitter source is injectable so tests — and the fleet's deterministic
+// fault-injection suite — can pin the exact backoff schedule.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Policy describes one retry discipline. The zero value is usable:
+// 100 ms initial backoff doubling to a 5 s cap, no jitter, unlimited
+// attempts and time (callers that must terminate set Attempts or Budget).
+type Policy struct {
+	// Initial is the delay before the first retry. 0 means 100 ms.
+	Initial time.Duration
+	// Max caps the grown delay. 0 means 5 s.
+	Max time.Duration
+	// Multiplier grows the delay per attempt. 0 means 2.
+	Multiplier float64
+	// Jitter widens each delay to delay*(1 ± Jitter) uniformly, breaking
+	// retry synchronisation across a fleet. 0 disables jitter.
+	Jitter float64
+	// Attempts bounds the total calls to the function (not just the
+	// retries): Attempts 3 means at most 3 calls. 0 means unlimited.
+	Attempts int
+	// Budget bounds the total time Do may spend, sleeps included,
+	// measured from its first call. 0 means unlimited.
+	Budget time.Duration
+	// Rand supplies jitter draws in [0, 1). nil falls back to a
+	// fixed-midpoint draw (0.5), which makes an unseeded policy
+	// deterministic: jitter only randomises when a source is provided.
+	Rand func() float64
+	// OnRetry, when non-nil, observes every scheduled retry: the 0-based
+	// attempt that just failed, the delay about to be slept, and the
+	// error that caused it. The fleet's retry counter hangs off this.
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Delay computes the backoff scheduled after the given 0-based failed
+// attempt: Initial·Multiplier^attempt capped at Max, then jittered. It is
+// exported so tests can pin a policy's schedule without sleeping it.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Initial) * math.Pow(p.Multiplier, float64(attempt))
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		draw := 0.5
+		if p.Rand != nil {
+			draw = p.Rand()
+		}
+		d *= 1 + p.Jitter*(2*draw-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// ErrBudgetExhausted marks a Do that gave up because the policy's attempt
+// or time budget ran out; the last function error is wrapped alongside it.
+var ErrBudgetExhausted = errors.New("retry: budget exhausted")
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately and returns the original
+// error. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// afterError carries a server-directed minimum delay before the next try.
+type afterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *afterError) Error() string { return e.err.Error() }
+func (e *afterError) Unwrap() error { return e.err }
+
+// After wraps err with a server-directed pacing hint: the next retry waits
+// at least d, even when the computed backoff is shorter. A nil err stays
+// nil.
+func After(err error, d time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &afterError{err: err, after: d}
+}
+
+// RetryAfter extracts a pacing hint attached with After.
+func RetryAfter(err error) (time.Duration, bool) {
+	var a *afterError
+	if errors.As(err, &a) {
+		return a.after, true
+	}
+	return 0, false
+}
+
+// Do calls fn until it succeeds, fails permanently, the context ends, or a
+// policy budget runs out. The returned error is nil on success; the
+// unwrapped original on a Permanent failure; ctx.Err() when the context
+// ended first; and the last error wrapped with ErrBudgetExhausted when the
+// budgets gave out.
+func Do(ctx context.Context, p Policy, fn func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var deadline time.Time
+	if p.Budget > 0 {
+		deadline = time.Now().Add(p.Budget)
+	}
+	for attempt := 0; ; attempt++ {
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if p.Attempts > 0 && attempt+1 >= p.Attempts {
+			return fmt.Errorf("%w after %d attempts: %w", ErrBudgetExhausted, attempt+1, err)
+		}
+		delay := p.Delay(attempt)
+		if ra, ok := RetryAfter(err); ok && ra > delay {
+			delay = ra
+		}
+		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+			return fmt.Errorf("%w after %v: %w", ErrBudgetExhausted, p.Budget, err)
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, delay, err)
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// CheckResponse classifies an HTTP status for Do: 2xx is success (nil),
+// 429 and 503 are transient and carry the Retry-After header as a pacing
+// hint, every other 4xx is Permanent (the request itself is wrong), and
+// 5xx is transient. It reads only the status line and headers — the caller
+// still owns the body.
+func CheckResponse(resp *http.Response) error {
+	switch {
+	case resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable:
+		err := fmt.Errorf("retry: server busy: %s", resp.Status)
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+			return After(err, d)
+		}
+		return err
+	case resp.StatusCode < 500:
+		return Permanent(fmt.Errorf("retry: request rejected: %s", resp.Status))
+	default:
+		return fmt.Errorf("retry: server error: %s", resp.Status)
+	}
+}
+
+// parseRetryAfter reads the two RFC 9110 Retry-After forms: delay seconds
+// and an HTTP date.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}

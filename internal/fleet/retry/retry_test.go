@@ -1,0 +1,186 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDelaySchedule pins the exact backoff schedule of a jitterless policy:
+// geometric growth from Initial, capped at Max.
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Initial: 10 * time.Millisecond, Multiplier: 2, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+// TestDelayJitterDeterministic pins jitter against an injected draw source:
+// draw 0 gives delay*(1-J), draw just below 1 gives ~delay*(1+J), and a nil
+// source is the midpoint (no widening).
+func TestDelayJitterDeterministic(t *testing.T) {
+	base := Policy{Initial: 100 * time.Millisecond, Multiplier: 2, Max: time.Second, Jitter: 0.5}
+
+	lo := base
+	lo.Rand = func() float64 { return 0 }
+	if got, want := lo.Delay(0), 50*time.Millisecond; got != want {
+		t.Errorf("low draw: Delay(0) = %v, want %v", got, want)
+	}
+	hi := base
+	hi.Rand = func() float64 { return 1 }
+	if got, want := hi.Delay(0), 150*time.Millisecond; got != want {
+		t.Errorf("high draw: Delay(0) = %v, want %v", got, want)
+	}
+	mid := base // nil Rand: fixed midpoint
+	if got, want := mid.Delay(0), 100*time.Millisecond; got != want {
+		t.Errorf("nil Rand: Delay(0) = %v, want %v", got, want)
+	}
+}
+
+// TestDoAttemptBudget pins budget exhaustion: Attempts bounds total calls
+// and the final error wraps both ErrBudgetExhausted and the last failure.
+func TestDoAttemptBudget(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	var delays []time.Duration
+	p := Policy{
+		Initial: time.Microsecond, Multiplier: 2, Max: 4 * time.Microsecond,
+		Attempts: 3,
+		OnRetry:  func(_ int, d time.Duration, _ error) { delays = append(delays, d) },
+	}
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted wrapping boom", err)
+	}
+	want := []time.Duration{time.Microsecond, 2 * time.Microsecond}
+	if len(delays) != len(want) {
+		t.Fatalf("retries scheduled = %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Errorf("delay[%d] = %v, want %v", i, delays[i], want[i])
+		}
+	}
+}
+
+// TestDoTimeBudget: a Budget shorter than the next computed sleep gives up
+// rather than overshooting it.
+func TestDoTimeBudget(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	p := Policy{Initial: time.Hour, Budget: 50 * time.Millisecond}
+	start := time.Now()
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (second try would overshoot the budget)", calls)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("Do slept %v despite the exhausted budget", took)
+	}
+}
+
+// TestDoPermanent stops immediately and unwraps to the original error.
+func TestDoPermanent(t *testing.T) {
+	boom := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), Policy{Initial: time.Microsecond}, func(context.Context) error {
+		calls++
+		return Permanent(boom)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if err != boom {
+		t.Fatalf("err = %v, want the unwrapped original", err)
+	}
+	if !IsPermanent(Permanent(boom)) {
+		t.Fatal("IsPermanent lost the marker")
+	}
+}
+
+// TestDoRetryAfter: a server pacing hint longer than the computed backoff
+// wins; a shorter one is ignored.
+func TestDoRetryAfter(t *testing.T) {
+	boom := errors.New("busy")
+	var delays []time.Duration
+	p := Policy{
+		Initial: time.Millisecond, Multiplier: 2, Max: 100 * time.Millisecond,
+		Attempts: 3,
+		OnRetry:  func(_ int, d time.Duration, _ error) { delays = append(delays, d) },
+	}
+	Do(context.Background(), p, func(context.Context) error {
+		return After(boom, 5*time.Millisecond)
+	})
+	want := []time.Duration{5 * time.Millisecond, 5 * time.Millisecond}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Errorf("delay[%d] = %v, want %v (Retry-After overrides shorter backoff)", i, delays[i], want[i])
+		}
+	}
+	if d, ok := RetryAfter(fmt.Errorf("wrapped: %w", After(boom, time.Second))); !ok || d != time.Second {
+		t.Fatalf("RetryAfter through wrapping = %v/%v", d, ok)
+	}
+}
+
+// TestDoContextCancel returns the context error mid-sleep.
+func TestDoContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	err := Do(ctx, Policy{Initial: time.Hour}, func(context.Context) error {
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCheckResponse classifies statuses and extracts Retry-After.
+func TestCheckResponse(t *testing.T) {
+	mk := func(code int, retryAfter string) *http.Response {
+		h := http.Header{}
+		if retryAfter != "" {
+			h.Set("Retry-After", retryAfter)
+		}
+		return &http.Response{StatusCode: code, Status: fmt.Sprintf("%d x", code), Header: h}
+	}
+	if err := CheckResponse(mk(200, "")); err != nil {
+		t.Fatalf("200: %v", err)
+	}
+	err := CheckResponse(mk(503, "2"))
+	if err == nil || IsPermanent(err) {
+		t.Fatalf("503 should be transient, got %v", err)
+	}
+	if d, ok := RetryAfter(err); !ok || d != 2*time.Second {
+		t.Fatalf("503 Retry-After = %v/%v, want 2s", d, ok)
+	}
+	if err := CheckResponse(mk(404, "")); !IsPermanent(err) {
+		t.Fatalf("404 should be permanent, got %v", err)
+	}
+	if err := CheckResponse(mk(500, "")); err == nil || IsPermanent(err) {
+		t.Fatalf("500 should be transient, got %v", err)
+	}
+	if err := CheckResponse(mk(429, "")); err == nil || IsPermanent(err) {
+		t.Fatalf("429 should be transient, got %v", err)
+	}
+}

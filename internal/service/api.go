@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -46,11 +47,24 @@ type Spec struct {
 	WeightCutoff float64      `json:"weight_cutoff,omitempty"`
 	EnergyCutoff float64      `json:"energy_cutoff,omitempty"`
 	KeepCells    bool         `json:"keep_cells,omitempty"`
+	KeepBank     bool         `json:"keep_bank,omitempty"`
 	Source       *SourceSpec  `json:"source,omitempty"`
 	// Replicas > 1 turns the submission into an ensemble job: the
 	// replicas fan out across the worker pool and the result carries
 	// merged per-cell uncertainty statistics.
 	Replicas int `json:"replicas,omitempty"`
+	// Replica is this run's 0-based index within an ensemble — the RNG
+	// stream-family offset. Set by a fleet coordinator transporting an
+	// ensemble child to a remote worker; plain clients leave it 0.
+	Replica int `json:"replica,omitempty"`
+	// RetainSnapshot keeps the latest step-boundary snapshot in memory
+	// for GET /v1/jobs/{id}/snapshot — how a coordinator pulls the
+	// checkpoint it would reschedule this shard from.
+	RetainSnapshot bool `json:"retain_snapshot,omitempty"`
+	// Snapshot (base64 in JSON) seeds the run from a checkpoint: the
+	// solver restores it and continues from its recorded step boundary —
+	// how a rescheduled shard resumes on a new worker.
+	Snapshot []byte `json:"snapshot,omitempty"`
 	// WeightWindow enables weight-based population control (roulette +
 	// splitting) for the run.
 	WeightWindow *WeightWindowSpec `json:"weight_window,omitempty"`
@@ -164,10 +178,15 @@ func (s Spec) Config() (core.Config, error) {
 		cfg.EnergyCutoff = s.EnergyCutoff
 	}
 	cfg.KeepCells = s.KeepCells
+	cfg.KeepBank = s.KeepBank
 	if s.Replicas < 0 {
 		return core.Config{}, fmt.Errorf("service: negative replicas %d", s.Replicas)
 	}
 	cfg.Replicas = s.Replicas
+	if s.Replica < 0 {
+		return core.Config{}, fmt.Errorf("service: negative replica index %d", s.Replica)
+	}
+	cfg.Replica = s.Replica
 	if s.WeightWindow != nil {
 		cfg.WeightWindow = core.WeightWindow{
 			Enabled:  true,
@@ -183,6 +202,59 @@ func (s Spec) Config() (core.Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// SpecOf inverts Config: the wire Spec that, resolved through Spec.Config
+// and Validate, reproduces cfg exactly — same fingerprint, same physics.
+// This is the fleet coordinator's transport encoding for dispatching a
+// shard to a remote worker. It requires a validated config (Validate
+// resolves the scene and fills every default) and fails on the one thing no
+// wire format can carry: a CustomDensity hook.
+func SpecOf(cfg core.Config) (Spec, error) {
+	if cfg.CustomDensity != nil {
+		return Spec{}, fmt.Errorf("service: config with a CustomDensity hook cannot be transported")
+	}
+	if cfg.Scene == nil {
+		return Spec{}, fmt.Errorf("service: config not validated (nil scene)")
+	}
+	seed := cfg.Seed
+	s := Spec{
+		Scene:        cfg.Scene,
+		NX:           cfg.NX,
+		NY:           cfg.NY,
+		Particles:    cfg.Particles,
+		Timestep:     cfg.Timestep,
+		Steps:        cfg.Steps,
+		Seed:         &seed,
+		Threads:      cfg.Threads,
+		Scheme:       cfg.Scheme.String(),
+		Schedule:     cfg.Schedule.Kind.String(),
+		Chunk:        cfg.Schedule.Chunk,
+		Layout:       cfg.Layout.String(),
+		Tally:        cfg.Tally.String(),
+		MergePerStep: cfg.MergePerStep,
+		XSPoints:     cfg.XSPoints,
+		WeightCutoff: cfg.WeightCutoff,
+		EnergyCutoff: cfg.EnergyCutoff,
+		KeepCells:    cfg.KeepCells,
+		KeepBank:     cfg.KeepBank,
+		Replicas:     cfg.Replicas,
+		Replica:      cfg.Replica,
+	}
+	if cfg.WeightWindow.Enabled {
+		s.WeightWindow = &WeightWindowSpec{
+			Target:   cfg.WeightWindow.Target,
+			Ratio:    cfg.WeightWindow.Ratio,
+			SplitMax: cfg.WeightWindow.SplitMax,
+		}
+	}
+	if cfg.CustomSource != nil {
+		s.Source = &SourceSpec{
+			X0: cfg.CustomSource.X0, X1: cfg.CustomSource.X1,
+			Y0: cfg.CustomSource.Y0, Y1: cfg.CustomSource.Y1,
+		}
+	}
+	return s, nil
 }
 
 // JobView is the wire representation of a job snapshot.
@@ -203,7 +275,15 @@ type JobView struct {
 	ReplicasDone int `json:"replicas_done,omitempty"`
 	// ResumedFrom, when present, is the checkpointed step boundary the
 	// solver resumed at instead of re-running from scratch.
-	ResumedFrom *int       `json:"resumed_from,omitempty"`
+	ResumedFrom *int `json:"resumed_from,omitempty"`
+	// AssignedWorker names the fleet worker the job last ran on, and
+	// Reschedules counts how many times its shard was reassigned after a
+	// lease expiry. Both absent outside a fleet coordinator.
+	AssignedWorker string `json:"assigned_worker,omitempty"`
+	Reschedules    int    `json:"reschedules,omitempty"`
+	// Warnings lists non-fatal degradations the job survived — failed
+	// checkpoint writes, fleet fallback to local execution.
+	Warnings    []string   `json:"warnings,omitempty"`
 	Error       string     `json:"error,omitempty"`
 	Submitted   time.Time  `json:"submitted"`
 	Started     *time.Time `json:"started,omitempty"`
@@ -223,6 +303,10 @@ func viewOf(j *Job) JobView {
 		Replicas:     st.Replicas,
 		ReplicasDone: st.ReplicasDone,
 		Submitted:    st.Submitted,
+
+		AssignedWorker: st.Worker,
+		Reschedules:    st.Reschedules,
+		Warnings:       st.Warnings,
 	}
 	if st.ResumedFrom >= 0 {
 		r := st.ResumedFrom
@@ -246,9 +330,13 @@ func viewOf(j *Job) JobView {
 // a client consumes, flattened from core.Result (whose Config carries
 // non-serialisable hooks).
 type ResultView struct {
-	TallyTotal        float64   `json:"tally_total"`
-	WallSeconds       float64   `json:"wall_seconds"`
-	Events            uint64    `json:"events"`
+	TallyTotal  float64 `json:"tally_total"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// WallNS is the solver wallclock in integer nanoseconds — the exact
+	// transport twin of the rounded WallSeconds, so a coordinator
+	// reconstructing a remote result loses nothing.
+	WallNS int64  `json:"wall_ns,omitempty"`
+	Events uint64 `json:"events"`
 	FacetEvents       uint64    `json:"facet_events"`
 	CollisionEvents   uint64    `json:"collision_events"`
 	CensusEvents      uint64    `json:"census_events"`
@@ -260,6 +348,10 @@ type ResultView struct {
 	// all-reflective scenes.
 	Escapes uint64       `json:"escapes,omitempty"`
 	Leakage *LeakageView `json:"leakage,omitempty"`
+	// Counters is the full solver counter vector — the lossless transport
+	// block a fleet coordinator folds into merged statistics. The summary
+	// fields above stay for human and dashboard consumption.
+	Counters *core.Counters `json:"counters,omitempty"`
 	// Ensemble carries the merged uncertainty statistics of an ensemble
 	// job; absent for single runs.
 	Ensemble *EnsembleView `json:"ensemble,omitempty"`
@@ -348,10 +440,12 @@ func resultViewOf(res *core.Result) ResultView {
 		}
 		phases[name] = d.Seconds()
 	})
+	counters := res.Counter
 	return ResultView{
 		PhaseTimings:      phases,
 		TallyTotal:        res.TallyTotal,
 		WallSeconds:       res.Wall.Seconds(),
+		WallNS:            res.Wall.Nanoseconds(),
 		Events:            res.Counter.TotalEvents(),
 		FacetEvents:       res.Counter.FacetEvents,
 		CollisionEvents:   res.Counter.CollisionEvents,
@@ -362,7 +456,47 @@ func resultViewOf(res *core.Result) ResultView {
 		Cells:             res.Cells,
 		Escapes:           res.Counter.Escapes,
 		Leakage:           leakageViewOf(res),
+		Counters:          &counters,
 	}
+}
+
+// Result reconstructs the core.Result a remote worker computed — the
+// coordinator-side inverse of resultViewOf. cfg is the coordinator's own
+// config for the shard (the wire view carries none). Lossless for
+// everything the ensemble merger and the result API consume: tally, cells,
+// integer-nanosecond wallclock, the full counter vector, conservation error
+// and per-edge leakage. Phase timings and per-worker busy spans stay
+// behind; they describe the remote process, not this one.
+func (v ResultView) Result(cfg core.Config) *core.Result {
+	res := &core.Result{
+		Config:     cfg,
+		TallyTotal: v.TallyTotal,
+		Cells:      v.Cells,
+	}
+	if v.WallNS > 0 {
+		res.Wall = time.Duration(v.WallNS)
+	} else { // older worker: fall back to the rounded seconds
+		res.Wall = time.Duration(v.WallSeconds * float64(time.Second))
+	}
+	if v.Counters != nil {
+		res.Counter = *v.Counters
+	} else {
+		res.Counter = core.Counters{
+			FacetEvents:     v.FacetEvents,
+			CollisionEvents: v.CollisionEvents,
+			CensusEvents:    v.CensusEvents,
+			Deaths:          v.Deaths,
+			Escapes:         v.Escapes,
+		}
+	}
+	res.Conservation.RelativeError = v.ConservationError
+	if v.Leakage != nil {
+		for e := mesh.Edge(0); e < mesh.NumEdges; e++ {
+			res.Leakage.Weight[e] = v.Leakage.Weight[e.String()]
+			res.Leakage.Energy[e] = v.Leakage.Energy[e.String()]
+		}
+	}
+	return res
 }
 
 // Server exposes an engine over HTTP/JSON:
@@ -375,6 +509,7 @@ func resultViewOf(res *core.Result) ResultView {
 //	GET    /v1/jobs/{id}/steps   per-timestep results recorded so far
 //	GET    /v1/jobs/{id}/replicas  per-replica results of an ensemble job
 //	GET    /v1/jobs/{id}/stream  server-sent progress + per-step + per-replica events
+//	GET    /v1/jobs/{id}/snapshot  latest retained checkpoint (retain_snapshot runs)
 //	GET    /v1/jobs/{id}/trace   per-step phase spans as Chrome trace-event JSON
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/stats           engine counters
@@ -403,6 +538,11 @@ type ServerOptions struct {
 	Pprof bool
 	// Heartbeat is the SSE keepalive-comment interval; 0 means 15s.
 	Heartbeat time.Duration
+	// Mounts adds extra handlers to the server mux by pattern — how the
+	// fleet coordinator hangs its control plane (/v1/fleet/...) off the
+	// job API. Mounted handlers pass through the same observe middleware
+	// (request id, access log, http_requests metric) as built-in routes.
+	Mounts map[string]http.Handler
 }
 
 // NewServer wires the engine's handlers onto a fresh mux with default
@@ -428,11 +568,15 @@ func NewServerWith(e *Engine, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for pattern, h := range opts.Mounts {
+		s.mux.Handle(pattern, h)
+	}
 	if opts.Pprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -498,7 +642,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.engine.Submit(cfg)
+	j, err := s.engine.SubmitWith(cfg, SubmitOptions{
+		Snapshot:       spec.Snapshot,
+		RetainSnapshot: spec.RetainSnapshot,
+	})
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.writeError(w, r, http.StatusServiceUnavailable, err)
@@ -674,6 +821,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // and a final "done" event with the closing snapshot. Step events already
 // recorded when the client connects are replayed first, so a late
 // subscriber still sees the whole per-step history.
+//
+// Step and replica events carry SSE ids of the form "s<steps>r<replicas>"
+// — cumulative counts after the event. A reconnecting client that sends
+// Last-Event-ID (EventSource does this automatically) resumes exactly
+// after the last event it saw instead of replaying the whole history; an
+// unparseable id falls back to a full replay, which is safe because the
+// histories are append-only.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -708,7 +862,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
 		fl.Flush()
 	}
-	sent := 0
+	sent, sentReps := 0, 0
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		var ls, lr int
+		if n, _ := fmt.Sscanf(lastID, "s%dr%d", &ls, &lr); n == 2 && ls >= 0 && lr >= 0 {
+			sent, sentReps = ls, lr
+		}
+	}
 	emitSteps := func() {
 		fresh := j.StepsFrom(sent)
 		if len(fresh) == 0 {
@@ -716,12 +876,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, sv := range fresh {
 			data, _ := json.Marshal(sv)
-			fmt.Fprintf(w, "event: step\ndata: %s\n\n", data)
+			sent++
+			fmt.Fprintf(w, "id: s%dr%d\nevent: step\ndata: %s\n\n", sent, sentReps, data)
 		}
-		sent += len(fresh)
 		fl.Flush()
 	}
-	sentReps := 0
 	emitReplicas := func() {
 		fresh := j.ReplicasFrom(sentReps)
 		if len(fresh) == 0 {
@@ -729,9 +888,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, rv := range fresh {
 			data, _ := json.Marshal(rv)
-			fmt.Fprintf(w, "event: replica\ndata: %s\n\n", data)
+			sentReps++
+			fmt.Fprintf(w, "id: s%dr%d\nevent: replica\ndata: %s\n\n", sent, sentReps, data)
 		}
-		sentReps += len(fresh)
 		fl.Flush()
 	}
 	tick := time.NewTicker(100 * time.Millisecond)
@@ -758,6 +917,28 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		}
 	}
+}
+
+// handleSnapshot serves the job's latest retained in-memory checkpoint as
+// the raw snapshot binary — the pull side of fleet rescheduling: a
+// coordinator fetches the dying worker's last step boundary here and seeds
+// the replacement shard with it. 404 until the first step boundary of a
+// retain_snapshot run; the X-Neutral-Step header carries the step index
+// the snapshot was taken at.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	data, step := j.Snapshot()
+	if data == nil {
+		s.writeError(w, r, http.StatusNotFound,
+			errors.New("service: no retained snapshot (submit with retain_snapshot, then wait for a step boundary)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Neutral-Step", strconv.Itoa(step))
+	w.Write(data)
 }
 
 // handleTrace serves the job's per-step phase spans as Chrome trace-event

@@ -24,6 +24,11 @@ type ReplicaView struct {
 	// solver wallclock.
 	TallyTotal  float64 `json:"tally_total"`
 	WallSeconds float64 `json:"wall_seconds"`
+	// Worker names the fleet worker the replica ran on, and Reschedules
+	// counts its lease-expiry reassignments. Both absent outside a fleet
+	// coordinator.
+	Worker      string `json:"worker,omitempty"`
+	Reschedules int    `json:"reschedules,omitempty"`
 }
 
 // Replicas returns the per-replica results recorded so far, in replica
@@ -54,10 +59,13 @@ func (j *Job) Ensemble() *stats.Ensemble {
 }
 
 // addReplica records a completed replica and advances the parent progress.
+// Replica reschedules accumulate onto the parent, so an ensemble view
+// reports the total failover count across its shards.
 func (j *Job) addReplica(v ReplicaView) {
 	j.mu.Lock()
 	j.replicas = append(j.replicas, v)
 	j.progress = core.Progress{Step: len(j.replicas), Steps: v.Replicas}
+	j.reschedules += v.Reschedules
 	j.mu.Unlock()
 }
 
@@ -147,6 +155,8 @@ func (e *Engine) runEnsemble(j *Job) {
 			Cached:      st.Cached,
 			TallyTotal:  res.TallyTotal,
 			WallSeconds: res.Wall.Seconds(),
+			Worker:      st.Worker,
+			Reschedules: st.Reschedules,
 		})
 	}
 

@@ -14,8 +14,9 @@ import (
 // exported as scrape-time callbacks instead, so the metrics layer adds no
 // second source of truth to drift from the one /v1/stats reports.
 type engineMetrics struct {
-	checkpointWrites  *telemetry.Counter
-	streamSubscribers *telemetry.Gauge
+	checkpointWrites        *telemetry.Counter
+	checkpointWriteFailures *telemetry.Counter
+	streamSubscribers       *telemetry.Gauge
 	jobDuration       *telemetry.HistogramVec
 	particleRate      *telemetry.HistogramVec
 	solverEvents      *telemetry.CounterVec
@@ -31,6 +32,8 @@ func newEngineMetrics(e *Engine, r *telemetry.Registry) *engineMetrics {
 	m := &engineMetrics{
 		checkpointWrites: r.Counter("neutral_checkpoint_writes_total",
 			"Snapshot files written at timestep boundaries."),
+		checkpointWriteFailures: r.Counter("neutral_checkpoint_write_failures_total",
+			"Snapshot writes that failed; each also surfaces as a job warning."),
 		streamSubscribers: r.Gauge("neutral_stream_subscribers",
 			"Currently connected SSE job-stream clients."),
 		jobDuration: r.HistogramVec("neutral_job_duration_seconds",

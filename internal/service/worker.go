@@ -93,6 +93,25 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// Fleet state. retainSnap keeps the latest step-boundary snapshot in
+	// memory (snap/snapStep) so a coordinator can pull it over
+	// /v1/jobs/{id}/snapshot; seedSnap is a snapshot handed in at
+	// submission (or reported back by a failed remote dispatch) that the
+	// solver resumes from instead of running the completed steps again.
+	retainSnap bool
+	seedSnap   []byte
+	snap       []byte
+	snapStep   int
+	// worker and reschedules describe remote execution: the fleet worker
+	// currently (or last) assigned the job, and how many times the shard
+	// moved after its worker died. Both zero for locally solved jobs.
+	worker      string
+	reschedules int
+	// warnings records non-fatal trouble the job survived — a failed
+	// checkpoint write, a remote dispatch that fell back to local
+	// execution — so clients see degraded durability instead of silence.
+	warnings []string
 }
 
 // Status is an immutable snapshot of a job.
@@ -109,10 +128,18 @@ type Status struct {
 	// ResumedFrom is the checkpointed step the run resumed at, -1 when it
 	// started fresh.
 	ResumedFrom int
-	Err         error
-	Submitted   time.Time
-	Started     time.Time
-	Finished    time.Time
+	// Worker is the fleet worker the job ran (or is running) on, empty
+	// for local execution; Reschedules counts how many times the shard
+	// was moved to a new worker after its assigned worker died.
+	Worker      string
+	Reschedules int
+	// Warnings lists the non-fatal trouble the job survived (failed
+	// checkpoint writes, remote dispatch falling back to local).
+	Warnings  []string
+	Err       error
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
 }
 
 // ID returns the engine-issued job identifier.
@@ -141,11 +168,82 @@ func (j *Job) Status() Status {
 		Replicas:     ens,
 		ReplicasDone: len(j.replicas),
 		ResumedFrom:  j.resumedFrom,
+		Worker:       j.worker,
+		Reschedules:  j.reschedules,
+		Warnings:     append([]string(nil), j.warnings...),
 		Err:          j.err,
 		Submitted:    j.submitted,
 		Started:      j.started,
 		Finished:     j.finished,
 	}
+}
+
+// addWarning records non-fatal trouble on the job, deduplicating exact
+// repeats (a flaky checkpoint directory must not grow the list per step).
+func (j *Job) addWarning(w string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, have := range j.warnings {
+		if have == w {
+			return
+		}
+	}
+	j.warnings = append(j.warnings, w)
+}
+
+// Snapshot returns the latest retained step-boundary snapshot and the step
+// it was taken at; nil when the job does not retain snapshots or has not
+// reached a boundary yet.
+func (j *Job) Snapshot() ([]byte, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snap, j.snapStep
+}
+
+// setSnapshot retains the latest step-boundary snapshot.
+func (j *Job) setSnapshot(data []byte, step int) {
+	j.mu.Lock()
+	j.snap = data
+	j.snapStep = step
+	j.mu.Unlock()
+}
+
+// takeSeedSnap consumes the submission-time (or fallback-reported) resume
+// snapshot; the seed is one-shot so a later Reset cannot resurrect it.
+func (j *Job) takeSeedSnap() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.seedSnap
+	j.seedSnap = nil
+	return s
+}
+
+// applyRemoteUpdate is the callback a RemoteRunner drives while a shard
+// runs remotely: worker assignment and reschedule count land on the job
+// view, forwarded step results land on the step history (guarded to stay
+// monotonic across worker reconnects and rescheduled resumes), and the
+// latest pulled snapshot becomes the local resume seed should the fleet
+// degrade to in-process execution.
+func (j *Job) applyRemoteUpdate(u RemoteUpdate) {
+	j.mu.Lock()
+	if u.Worker != "" {
+		j.worker = u.Worker
+	}
+	if u.Reschedules > j.reschedules {
+		j.reschedules = u.Reschedules
+	}
+	if u.Snapshot != nil {
+		j.seedSnap = u.Snapshot
+	}
+	step := u.Step
+	if step != nil && len(j.steps) > 0 && step.Step <= j.steps[len(j.steps)-1].Step {
+		step = nil // duplicate replay after a reconnect or reschedule
+	}
+	if step != nil {
+		j.steps = append(j.steps, *step)
+		j.progress = core.Progress{Step: step.Step, Steps: step.Steps}
+	}
+	j.mu.Unlock()
 }
 
 // Steps returns the per-timestep results recorded so far, oldest first
@@ -308,7 +406,46 @@ type Options struct {
 	// several instrumented subsystems. Nil means a private registry;
 	// either way Engine.Registry() is what GET /metrics serves.
 	Registry *telemetry.Registry
+	// Remote, when non-nil, lets the engine dispatch eligible jobs to a
+	// fleet of remote worker processes (internal/fleet.Coordinator). A
+	// job is eligible when it is cacheable (canonical fingerprint) and
+	// does not ask to keep its bank — the result wire format carries
+	// tallies and counters, not banks. Dispatch failing with ErrNoWorkers
+	// degrades gracefully to local in-process execution, resuming from
+	// the last remotely pulled checkpoint when one exists.
+	Remote RemoteRunner
 }
+
+// RemoteUpdate is one observation a RemoteRunner reports while a shard runs
+// remotely. Zero-valued fields mean "no change".
+type RemoteUpdate struct {
+	// Worker is the fleet worker currently assigned the shard.
+	Worker string
+	// Reschedules is the cumulative number of times the shard was moved
+	// to a new worker after its assigned worker died.
+	Reschedules int
+	// Step is a completed remote timestep to forward onto the job's step
+	// history (and its SSE stream).
+	Step *StepView
+	// Snapshot is the latest fingerprint-keyed checkpoint pulled from the
+	// worker — the resume point for rescheduling and local fallback.
+	Snapshot []byte
+}
+
+// RemoteRunner executes one job shard on a remote worker fleet. RunShard
+// blocks until the shard completes somewhere, reporting assignment changes,
+// forwarded steps and checkpoints through update. It fails with an error
+// wrapping ErrNoWorkers when no healthy worker is reachable (the engine
+// then runs the job locally), with ctx's error on cancellation, and with
+// the run's own error when the shard failed deterministically.
+type RemoteRunner interface {
+	RunShard(ctx context.Context, cfg core.Config, update func(RemoteUpdate)) (*core.Result, error)
+}
+
+// ErrNoWorkers reports that remote dispatch found no healthy fleet worker;
+// the engine treats it as "degrade to local execution", never as a job
+// failure.
+var ErrNoWorkers = errors.New("service: no fleet workers reachable")
 
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
@@ -406,12 +543,32 @@ func New(opts Options) *Engine {
 // touching a worker) or enqueues it. A full shard queue fails with
 // ErrQueueFull; a closed engine with ErrClosed.
 func (e *Engine) Submit(cfg core.Config) (*Job, error) {
-	return e.submit(cfg, nil)
+	return e.submit(cfg, nil, SubmitOptions{})
+}
+
+// SubmitOptions carries the fleet-transport extras of a submission.
+type SubmitOptions struct {
+	// Snapshot seeds the run: the solver restores it and continues from
+	// its step boundary instead of running the completed steps again —
+	// how a coordinator reschedules a shard onto this engine from the
+	// dead worker's last checkpoint. A snapshot that fails to restore
+	// (corrupt, or taken under a different config) is discarded and the
+	// run starts fresh.
+	Snapshot []byte
+	// RetainSnapshot keeps the latest step-boundary snapshot in memory on
+	// the job for GET /v1/jobs/{id}/snapshot — the coordinator's pull
+	// path. Off by default: a snapshot is bank-sized.
+	RetainSnapshot bool
+}
+
+// SubmitWith is Submit with fleet-transport options.
+func (e *Engine) SubmitWith(cfg core.Config, so SubmitOptions) (*Job, error) {
+	return e.submit(cfg, nil, so)
 }
 
 // submit is Submit with queue routing factored out: a nil queue routes by
 // fingerprint shard; a non-nil queue pins the job (batch submissions).
-func (e *Engine) submit(cfg core.Config, pinned *Queue) (*Job, error) {
+func (e *Engine) submit(cfg core.Config, pinned *Queue, so SubmitOptions) (*Job, error) {
 	if cfg.Threads == 0 {
 		cfg.Threads = e.opts.ThreadsPerJob
 	}
@@ -443,6 +600,8 @@ func (e *Engine) submit(cfg core.Config, pinned *Queue) (*Job, error) {
 		state:       StateQueued,
 		resumedFrom: -1,
 		submitted:   time.Now(),
+		retainSnap:  so.RetainSnapshot,
+		seedSnap:    so.Snapshot,
 	}
 	e.submitted.Add(1)
 
@@ -532,7 +691,7 @@ func (e *Engine) SubmitBatch(cfgs []core.Config) []BatchItem {
 
 	items := make([]BatchItem, len(cfgs))
 	for i, cfg := range cfgs {
-		items[i].Job, items[i].Err = e.submit(cfg, pinned)
+		items[i].Job, items[i].Err = e.submit(cfg, pinned, SubmitOptions{})
 	}
 	return items
 }
@@ -600,10 +759,13 @@ func (e *Engine) execute(j *Job, reuse **core.Simulation) {
 	e.runs.Add(1)
 	var res *core.Result
 	var err error
+	remote := false
 	if e.runFn != nil {
 		res, err = e.runFn(j.ctx, j.cfg, j.setProgress)
 	} else {
-		res, err = e.solve(j, reuse)
+		if res, err, remote = e.tryRemote(j); !remote {
+			res, err = e.solve(j, reuse)
+		}
 	}
 	switch {
 	case err == nil:
@@ -625,14 +787,44 @@ func (e *Engine) execute(j *Job, reuse **core.Simulation) {
 	}
 }
 
+// tryRemote dispatches an eligible job to the fleet. The third return is
+// false when the job was not (or could not be) dispatched and must be
+// solved locally: no runner configured, an ineligible config, or no
+// healthy workers — the graceful-degradation path, which also seeds the
+// local solve with the last checkpoint the runner pulled before giving up.
+func (e *Engine) tryRemote(j *Job) (*core.Result, error, bool) {
+	r := e.opts.Remote
+	if r == nil || j.key == "" || j.cfg.KeepBank || j.cfg.Replicas > 1 {
+		return nil, nil, false
+	}
+	res, err := r.RunShard(j.ctx, j.cfg, j.applyRemoteUpdate)
+	if err != nil && errors.Is(err, ErrNoWorkers) {
+		j.addWarning("fleet: no workers reachable; degraded to local execution")
+		return nil, nil, false
+	}
+	return res, err, true
+}
+
 // solve drives one job through the core Simulation lifecycle: resume from a
-// checkpoint when one exists, otherwise Reset the worker's retained engine
-// or build a fresh one; stream per-step results onto the job; checkpoint at
-// step boundaries; drop the checkpoint on success.
+// submission-seeded snapshot or an on-disk checkpoint when one exists,
+// otherwise Reset the worker's retained engine or build a fresh one; stream
+// per-step results onto the job; checkpoint at step boundaries; drop the
+// checkpoint on success.
 func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
 	ckpt := e.checkpointPath(j.key)
 	var sim *core.Simulation
-	if ckpt != "" {
+	if seed := j.takeSeedSnap(); seed != nil {
+		// A seeded snapshot outranks any local checkpoint: the
+		// coordinator hands the freshest resume point it pulled, while a
+		// file here is whatever an earlier attempt left behind.
+		if restored, rerr := core.RestoreSimulation(j.cfg, seed); rerr == nil {
+			sim = restored
+			j.setResumedFrom(restored.StepIndex())
+		} else {
+			j.addWarning(fmt.Sprintf("checkpoint: seeded snapshot rejected, running fresh: %v", rerr))
+		}
+	}
+	if sim == nil && ckpt != "" {
 		if data, err := os.ReadFile(ckpt); err == nil {
 			if restored, rerr := core.RestoreSimulation(j.cfg, data); rerr == nil {
 				sim = restored
@@ -664,13 +856,29 @@ func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
 
 	res, err := sim.Drive(j.ctx, j.setProgress, func(s *core.Simulation) {
 		j.addStep(stepViewOf(s))
-		if ckpt != "" && s.StepIndex()%e.opts.CheckpointEvery == 0 {
+		if s.StepIndex()%e.opts.CheckpointEvery != 0 {
+			return
+		}
+		var data []byte // one Snapshot() serves both sinks
+		if j.retainSnap {
+			data = s.Snapshot()
+			j.setSnapshot(data, s.StepIndex())
+		}
+		if ckpt != "" {
+			if data == nil {
+				data = s.Snapshot()
+			}
 			// Atomic and collision-safe (unique temp names), so even a
 			// batch-pinned duplicate of a routed job cannot publish a
-			// torn checkpoint. Best-effort: an error leaves the job
-			// running uncheckpointed.
-			if core.WriteSnapshotFile(ckpt, s.Snapshot()) == nil {
+			// torn checkpoint. Best-effort — but never silent: a failed
+			// write surfaces as a job warning and a counter, because an
+			// operator who configured checkpointing is owed the news
+			// that durability is gone.
+			if werr := core.WriteSnapshotFile(ckpt, data); werr == nil {
 				e.metrics.checkpointWrites.Inc()
+			} else {
+				e.metrics.checkpointWriteFailures.Inc()
+				j.addWarning(fmt.Sprintf("checkpoint: write failed: %v", werr))
 			}
 		}
 	})
@@ -794,6 +1002,38 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // DefaultScene reports the engine's default scene for problem-less
 // submissions; nil when none was configured.
 func (e *Engine) DefaultScene() *scene.Scene { return e.opts.DefaultScene }
+
+// CheckpointInFlight writes the latest retained snapshot of every
+// non-terminal job into the checkpoint directory — the SIGTERM drain path:
+// called before Close, it persists each in-flight shard at its last step
+// boundary so a process restarted over the same directory (or a coordinator
+// rescheduling the shard elsewhere) resumes instead of re-running. Returns
+// the number of snapshots written. A no-op without a checkpoint directory;
+// jobs that retain no snapshot rely on their regular per-step file
+// checkpoints, which Close leaves in place.
+func (e *Engine) CheckpointInFlight() int {
+	if e.opts.CheckpointDir == "" {
+		return 0
+	}
+	n := 0
+	for _, j := range e.Jobs() {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		snap := j.snap
+		key := j.key
+		j.mu.Unlock()
+		if terminal || snap == nil || key == "" {
+			continue
+		}
+		if core.WriteSnapshotFile(e.checkpointPath(key), snap) == nil {
+			e.metrics.checkpointWrites.Inc()
+			n++
+		} else {
+			e.metrics.checkpointWriteFailures.Inc()
+		}
+	}
+	return n
+}
 
 // Close stops the engine: admissions end, the backlog and in-flight runs
 // are canceled, and Close returns once every worker has exited. All

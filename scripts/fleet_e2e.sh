@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# fleet_e2e.sh — kill-one-worker fleet end-to-end check.
+#
+# Boots a coordinator and two workers, submits an ensemble job, SIGKILLs
+# one worker mid-run, and asserts that the job still completes with physics
+# bit-identical to a single-process reference run — the fleet's core
+# robustness promise — and that the failover is visible on /metrics
+# (fleet_reschedules_total >= 1).
+#
+# Usage: scripts/fleet_e2e.sh [base-port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${1:-18180}
+COORD="127.0.0.1:$PORT"
+W1="127.0.0.1:$((PORT + 1))"
+W2="127.0.0.1:$((PORT + 2))"
+REF="127.0.0.1:$((PORT + 3))"
+BIN=$(mktemp -d)/neutral-serve
+# An ensemble wide and slow enough that shards are in flight when the
+# worker dies; threads=1 keeps every replica bit-reproducible.
+SPEC='{"problem":"csp","nx":64,"particles":20000,"steps":10,"threads":1,"seed":42,"replicas":3,"keep_cells":true}'
+
+go build -o "$BIN" ./cmd/neutral-serve
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -sf "http://$1/healthz" >/dev/null && return 0
+    sleep 0.1
+  done
+  echo "FAIL: $1 never became healthy" >&2
+  exit 1
+}
+
+# Reference: the same ensemble on a plain single-process server.
+"$BIN" -addr "$REF" &
+PIDS+=($!)
+wait_healthy "$REF"
+REF_JOB=$(curl -sf -X POST "http://$REF/v1/jobs" -d "$SPEC" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+curl -sf "http://$REF/v1/jobs/$REF_JOB/result?wait=true" > /tmp/fleet_e2e_ref.json
+
+# The fleet: coordinator plus two workers. A short lease makes the dead
+# worker detectable within CI patience.
+"$BIN" -addr "$COORD" -fleet -lease 2s &
+PIDS+=($!)
+wait_healthy "$COORD"
+"$BIN" -addr "$W1" -worker -join "http://$COORD" -name w1 &
+W1_PID=$!
+PIDS+=($W1_PID)
+"$BIN" -addr "$W2" -worker -join "http://$COORD" -name w2 &
+PIDS+=($!)
+wait_healthy "$W1"
+wait_healthy "$W2"
+
+# Both workers registered and alive before dispatch begins.
+for _ in $(seq 1 100); do
+  ALIVE=$(curl -sf "http://$COORD/v1/fleet/workers" | python3 -c 'import json,sys; print(sum(1 for w in json.load(sys.stdin) if w["alive"]))')
+  [ "$ALIVE" = 2 ] && break
+  sleep 0.1
+done
+[ "$ALIVE" = 2 ] || { echo "FAIL: expected 2 alive workers, saw $ALIVE" >&2; exit 1; }
+
+JOB=$(curl -sf -X POST "http://$COORD/v1/jobs" -d "$SPEC" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+
+# Wait until w1 holds at least one shard, then SIGKILL it mid-run — no
+# goodbye, no checkpoint flush; the coordinator must recover on its own.
+for _ in $(seq 1 200); do
+  BUSY=$(curl -sf "http://$COORD/v1/fleet/workers" | python3 -c 'import json,sys; print(next((w["dispatches"] for w in json.load(sys.stdin) if w["name"]=="w1"), 0))')
+  [ "$BUSY" -ge 1 ] && break
+  sleep 0.1
+done
+[ "$BUSY" -ge 1 ] || { echo "FAIL: w1 never received a shard" >&2; exit 1; }
+kill -9 "$W1_PID"
+echo "killed worker w1 (pid $W1_PID) mid-run"
+
+curl -sf --max-time 180 "http://$COORD/v1/jobs/$JOB/result?wait=true" > /tmp/fleet_e2e_fleet.json
+
+# Physics must be bit-identical to the reference; timing fields may differ.
+python3 - <<'EOF'
+import json
+ref = json.load(open("/tmp/fleet_e2e_ref.json"))
+got = json.load(open("/tmp/fleet_e2e_fleet.json"))
+fields = ["tally_total", "cells", "facet_events", "collision_events",
+          "census_events", "deaths", "escapes", "conservation_error", "leakage"]
+for f in fields:
+    assert got.get(f) == ref.get(f), f"{f} differs:\n fleet {got.get(f)}\n ref   {ref.get(f)}"
+ens_fields = ["mean_total", "replica_totals", "rel_err", "total_rel_err",
+              "avg_rel_err", "max_rel_err", "scored_cells"]
+for f in ens_fields:
+    assert got["ensemble"][f] == ref["ensemble"][f], \
+        f"ensemble.{f} differs:\n fleet {got['ensemble'][f]}\n ref   {ref['ensemble'][f]}"
+print("physics bit-identical across worker kill:",
+      "mean_total =", got["ensemble"]["mean_total"])
+EOF
+
+# The failover must have actually happened and be visible on /metrics.
+RESCHED=$(curl -sf "http://$COORD/metrics" | awk '$1 == "fleet_reschedules_total" {print int($2)}')
+[ "${RESCHED:-0}" -ge 1 ] || { echo "FAIL: fleet_reschedules_total = ${RESCHED:-0}, want >= 1" >&2; exit 1; }
+echo "PASS: kill-one-worker e2e (fleet_reschedules_total=$RESCHED)"
