@@ -20,6 +20,18 @@
 //	neutral-serve -addr :8081 -worker -join http://localhost:8080
 //	neutral-serve -addr :8082 -worker -join http://localhost:8080
 //
+// Production hardening: tenant keys (bearer auth + per-tenant rate limits
+// and fair-share queueing; 429/503 responses carry Retry-After), a blob
+// store holding all durable state (checkpoints, persisted results, pulled
+// shard snapshots) so workers and the coordinator are stateless and a
+// restarted coordinator resumes every in-flight shard from the store, and
+// request-body caps answered with 413:
+//
+//	neutral-serve -addr :8080 -fleet -keys keys.json -blob /var/lib/neutral/blob
+//	neutral-serve -addr :8081 -worker -join http://localhost:8080 -fleet-key SECRET
+//	neutral-serve -key 'ci:ci-secret:2:10'                 # inline tenant, 2 jobs/s burst 10
+//	curl -H 'Authorization: Bearer ci-secret' ...
+//
 // Observability:
 //
 //	curl -s localhost:8080/metrics                     # Prometheus text exposition
@@ -52,6 +64,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/scene"
 	"repro/internal/service"
+	"repro/internal/service/blob"
 	"repro/internal/telemetry"
 )
 
@@ -84,7 +97,21 @@ func run() error {
 		name      = flag.String("name", "", "fleet-unique worker name (default derived from the advertise URL)")
 		lease     = flag.Duration("lease", 0, "coordinator shard-lease TTL; a worker silent this long has its shards rescheduled (0 = 10s)")
 		chaosSpec = flag.String("chaos", "", "deterministic fault injection on fleet HTTP traffic, e.g. drop=0.1,delay=0.05:200ms,err500=0.02,partial=0.01,seed=42")
+
+		keysFile = flag.String("keys", "", "JSON tenant key file ({\"tenants\":[{\"name\":...,\"key\":...,\"rate\":...,\"burst\":...}]}); enables bearer-token auth and per-tenant rate limits")
+		blobSpec = flag.String("blob", "", "blob store for checkpoints and persisted results: 'mem' or a directory path (empty falls back to -checkpoint-dir)")
+		fleetKey = flag.String("fleet-key", "", "bearer key this process presents on fleet traffic (worker->coordinator and coordinator->worker requests)")
+		maxBody  = flag.Int64("max-body", 0, "request body cap in bytes on decoding endpoints, answered 413 beyond it (0 = 32 MiB)")
 	)
+	var keyFlags []service.Tenant
+	flag.Func("key", "inline tenant 'name:key[:rate[:burst]]' (repeatable; combines with -keys)", func(s string) error {
+		t, err := service.ParseKeyFlag(s)
+		if err != nil {
+			return err
+		}
+		keyFlags = append(keyFlags, t)
+		return nil
+	})
 	flag.Parse()
 
 	logger := cliutil.NewLogger(os.Stderr, *logJSON)
@@ -123,6 +150,58 @@ func run() error {
 		os.Remove(probe.Name())
 	}
 
+	// The blob store is the durability tier: checkpoints, persisted
+	// results, and (on a coordinator) pulled shard snapshots. -blob wins
+	// over -checkpoint-dir; both empty means no durability.
+	var blobs blob.Store
+	switch {
+	case *blobSpec == "mem":
+		blobs = blob.NewMem()
+	case *blobSpec != "":
+		if blobs, err = blob.NewFS(*blobSpec); err != nil {
+			return fmt.Errorf("blob store: %w", err)
+		}
+	}
+
+	// Tenant keys: the file and any -key flags combine into one set; any
+	// key configured turns authentication on for the whole API.
+	var auth *service.Auth
+	tenants := keyFlags
+	if *keysFile != "" {
+		fromFile, err := service.LoadKeys(*keysFile)
+		if err != nil {
+			return err
+		}
+		tenants = append(fromFile, tenants...)
+	}
+	if len(tenants) > 0 {
+		if auth, err = service.NewAuth(tenants); err != nil {
+			return err
+		}
+	}
+
+	// Fleet traffic authenticates like any other client: -fleet-key rides
+	// along as a bearer token on every coordinator->worker and
+	// worker->coordinator request.
+	var fleetClient *http.Client
+	var agentClient *http.Client
+	if *fleetKey != "" {
+		// Mirrors the fleet defaults: the coordinator client must not
+		// carry a whole-request timeout (it would cut down SSE watches),
+		// the agent client should (it only does short POSTs).
+		fleetClient = &http.Client{Transport: &authTransport{
+			key: *fleetKey,
+			base: &http.Transport{
+				DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+				ResponseHeaderTimeout: 10 * time.Second,
+			},
+		}}
+		agentClient = &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: &authTransport{key: *fleetKey, base: http.DefaultTransport},
+		}
+	}
+
 	// In either fleet role the engine and the fleet layer share one
 	// registry, so a single /metrics scrape carries the neutral_* and
 	// fleet_* families together.
@@ -134,6 +213,8 @@ func run() error {
 		coordinator = fleet.NewCoordinator(fleet.Options{
 			LeaseTTL: *lease,
 			Chaos:    chaos,
+			Client:   fleetClient,
+			Blobs:    blobs,
 			Logger:   logger,
 			Registry: registry,
 		})
@@ -146,6 +227,7 @@ func run() error {
 		QueueDepth:      *queueDepth,
 		CacheEntries:    *cacheSize,
 		ThreadsPerJob:   *threads,
+		Blobs:           blobs,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		DefaultScene:    defaultScene,
@@ -158,10 +240,12 @@ func run() error {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: service.NewServerWith(engine, service.ServerOptions{
-			Logger:    logger,
-			Pprof:     *pprofOn,
-			Heartbeat: *heartbeat,
-			Mounts:    mounts,
+			Logger:       logger,
+			Pprof:        *pprofOn,
+			Heartbeat:    *heartbeat,
+			Mounts:       mounts,
+			Auth:         auth,
+			MaxBodyBytes: *maxBody,
 		}),
 	}
 
@@ -201,6 +285,7 @@ func run() error {
 			Self:        self,
 			Name:        wname,
 			Engine:      engine,
+			Client:      agentClient,
 			Chaos:       chaos,
 			Logger:      logger,
 		})
@@ -249,6 +334,19 @@ func run() error {
 	}
 	logger.Info("bye")
 	return nil
+}
+
+// authTransport adds the fleet bearer key to every outgoing request, so
+// fleet traffic passes the same tenancy middleware as any client.
+type authTransport struct {
+	key  string
+	base http.RoundTripper
+}
+
+func (t *authTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	r = r.Clone(r.Context())
+	r.Header.Set("Authorization", "Bearer "+t.key)
+	return t.base.RoundTrip(r)
 }
 
 // role names the process's fleet role for the startup log line.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"time"
 
@@ -58,7 +59,10 @@ func NewAgent(opts AgentOptions) (*Agent, error) {
 		opts.Logger = slog.New(slog.DiscardHandler)
 	}
 	if opts.Client == nil {
-		opts.Client = &http.Client{}
+		// The agent only ever does short JSON POSTs, so unlike the
+		// coordinator's client a whole-request timeout is safe — and it
+		// stops a wedged coordinator from hanging a heartbeat forever.
+		opts.Client = &http.Client{Timeout: 10 * time.Second}
 	}
 	if opts.Chaos != nil {
 		opts.Chaos.Base = opts.Client.Transport
@@ -67,7 +71,15 @@ func NewAgent(opts AgentOptions) (*Agent, error) {
 		opts.Client = &cl
 	}
 	if opts.Retry.Initial == 0 && opts.Retry.Attempts == 0 && opts.Retry.Budget == 0 {
-		opts.Retry = retry.Policy{Initial: 100 * time.Millisecond, Max: 5 * time.Second, Jitter: 0.2}
+		// Rand only on the default policy (injected test policies stay
+		// deterministic): a fleet of workers re-registering after a
+		// coordinator restart must not knock in lockstep.
+		opts.Retry = retry.Policy{
+			Initial: 100 * time.Millisecond,
+			Max:     5 * time.Second,
+			Jitter:  0.2,
+			Rand:    rand.Float64,
+		}
 	}
 	return &Agent{opts: opts, log: opts.Logger, client: opts.Client}, nil
 }

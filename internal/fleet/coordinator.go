@@ -20,12 +20,15 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/fleet/retry"
+	"repro/internal/service/blob"
 	"repro/internal/telemetry"
 )
 
@@ -46,11 +49,23 @@ type Options struct {
 	// (submit, status, result, snapshot). The zero policy gets fleet
 	// defaults: 50ms initial, 2s cap, 5 attempts.
 	Retry retry.Policy
-	// Client performs worker HTTP requests; nil means a fresh client.
-	// Chaos, when non-nil, wraps the client transport with deterministic
-	// fault injection.
+	// Client performs worker HTTP requests; nil means a client with a
+	// bounded dial and response-header wait but no whole-request timeout
+	// (a whole-request deadline would kill the long-lived SSE watch
+	// streams). Chaos, when non-nil, wraps the client transport with
+	// deterministic fault injection.
 	Client *http.Client
 	Chaos  *Chaos
+	// RequestTimeout bounds each non-streaming worker request (submit,
+	// status, result, snapshot pull). SSE watches are exempt — they live
+	// as long as the shard. 0 means 10s; negative disables.
+	RequestTimeout time.Duration
+	// Blobs, when non-nil, persists every pulled shard checkpoint under
+	// "checkpoints/<fingerprint>" so a restarted coordinator — which lost
+	// its in-memory shardRun state — re-dispatches from the stored resume
+	// point instead of from scratch. Pass the engine's store so local
+	// fallback and remote dispatch share one durability tier.
+	Blobs blob.Store
 	// Logger receives lease and reschedule events; nil discards them.
 	Logger *slog.Logger
 	// Registry receives the fleet_* metric families; nil means a private
@@ -75,7 +90,15 @@ func (o Options) withDefaults() Options {
 			Max:      2 * time.Second,
 			Attempts: 5,
 			Jitter:   0.2,
+			// Real randomness only on the default policy: without it every
+			// coordinator replica backs off in lockstep (the nil-Rand
+			// midpoint draw) and re-stampedes a recovering worker. Tests
+			// that inject their own policy keep deterministic backoff.
+			Rand: rand.Float64,
 		}
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 10 * time.Second
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
@@ -84,7 +107,14 @@ func (o Options) withDefaults() Options {
 		o.Registry = telemetry.NewRegistry()
 	}
 	if o.Client == nil {
-		o.Client = &http.Client{}
+		// No Client.Timeout — that clock would also cut down the SSE watch
+		// streams. Bound the per-connection phases instead: dialing a dead
+		// address and waiting on a stuck server both fail fast, while an
+		// accepted stream may flow for hours.
+		o.Client = &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 10 * time.Second,
+		}}
 	}
 	if o.Chaos != nil {
 		base := o.Client.Transport
@@ -408,10 +438,31 @@ func fleetError(w http.ResponseWriter, code int, err error) {
 	fleetJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// maxControlBody caps control-plane request bodies. Register, heartbeat and
+// leave each carry a name and a URL; a megabyte is three orders of headroom
+// and still refuses an accidental (or hostile) giant POST before it buffers.
+const maxControlBody = 1 << 20
+
+// decodeControl decodes a capped control-plane body, answering 413 on
+// overflow and 400 on malformed JSON. Reports whether decoding succeeded.
+func decodeControl(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxControlBody)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			fleetError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("decode %s: body exceeds %d bytes", what, tooBig.Limit))
+			return false
+		}
+		fleetError(w, http.StatusBadRequest, fmt.Errorf("decode %s: %w", what, err))
+		return false
+	}
+	return true
+}
+
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		fleetError(w, http.StatusBadRequest, fmt.Errorf("decode register: %w", err))
+	if !decodeControl(w, r, "register", &req) {
 		return
 	}
 	if req.Worker == "" || req.URL == "" {
@@ -432,8 +483,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		fleetError(w, http.StatusBadRequest, fmt.Errorf("decode heartbeat: %w", err))
+	if !decodeControl(w, r, "heartbeat", &req) {
 		return
 	}
 	c.mu.Lock()
@@ -472,8 +522,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		fleetError(w, http.StatusBadRequest, fmt.Errorf("decode leave: %w", err))
+	if !decodeControl(w, r, "leave", &req) {
 		return
 	}
 	c.mu.Lock()

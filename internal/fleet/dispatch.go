@@ -18,10 +18,13 @@ import (
 
 // shardRun is the coordinator-side state of one shard across however many
 // workers it takes: the latest pulled checkpoint survives worker deaths,
-// so every reassignment resumes instead of restarting.
+// so every reassignment resumes instead of restarting. key is the shard
+// config's fingerprint — its checkpoint address in the blob store ("" for
+// uncacheable configs, which are never dispatched anyway).
 type shardRun struct {
 	cfg         core.Config
 	spec        service.Spec
+	key         string
 	snap        []byte
 	reschedules int
 	update      func(service.RemoteUpdate)
@@ -52,6 +55,20 @@ func (c *Coordinator) RunShard(ctx context.Context, cfg core.Config, update func
 	}
 	spec.RetainSnapshot = true
 	sr := &shardRun{cfg: cfg, spec: spec, update: update}
+	if key, cacheable := cfg.Fingerprint(); cacheable {
+		sr.key = key
+	}
+	// A checkpoint already in the blob store — left by this process's own
+	// engine, or by a previous coordinator life before it was killed —
+	// seeds the first dispatch, so a restarted coordinator resumes every
+	// re-submitted shard instead of re-running completed steps.
+	if c.opts.Blobs != nil && sr.key != "" {
+		if snap, err := c.opts.Blobs.Get("checkpoints/" + sr.key); err == nil {
+			sr.snap = snap
+			c.metrics.storeSeeds.Inc()
+			c.log.Info("fleet: shard seeded from blob store", "fingerprint", sr.key)
+		}
+	}
 	lost := map[string]bool{}
 	for {
 		w := c.pickWorker(lost)
@@ -62,6 +79,10 @@ func (c *Coordinator) RunShard(ctx context.Context, cfg core.Config, update func
 		switch out {
 		case outcomeDone:
 			c.metrics.dispatches.With("done").Inc()
+			if c.opts.Blobs != nil && sr.key != "" {
+				// Best-effort: a finished shard's checkpoint is dead weight.
+				c.opts.Blobs.Delete("checkpoints/" + sr.key)
+			}
 			return res, nil
 		case outcomeFailed:
 			c.metrics.dispatches.With("failed").Inc()
@@ -251,6 +272,11 @@ func (c *Coordinator) handleEvent(ctx context.Context, w *worker, jobID string, 
 			snap = got
 			sr.snap = got
 			c.metrics.snapshotPulls.Inc()
+			if c.opts.Blobs != nil && sr.key != "" {
+				// Durable copy: a coordinator killed right now still
+				// re-dispatches the shard from this boundary.
+				c.opts.Blobs.Put("checkpoints/"+sr.key, got)
+			}
 		}
 		sr.update(service.RemoteUpdate{
 			Worker:      w.name,
@@ -320,6 +346,15 @@ func (c *Coordinator) do(ctx context.Context, method, url string, body []byte, r
 		c.metrics.retries.Inc()
 	}
 	return retry.Do(ctx, pol, func(ctx context.Context) error {
+		// Each attempt gets its own deadline — these are all short
+		// control-plane exchanges (the SSE watch bypasses do entirely), so
+		// a worker that accepts the connection and then hangs must not
+		// stall the shard for longer than a retry step.
+		if c.opts.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+			defer cancel()
+		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)

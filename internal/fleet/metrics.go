@@ -14,6 +14,7 @@ type fleetMetrics struct {
 	heartbeats           *telemetry.Counter
 	duplicateCompletions *telemetry.Counter
 	snapshotPulls        *telemetry.Counter
+	storeSeeds           *telemetry.Counter
 	dispatches           *telemetry.CounterVec
 }
 
@@ -36,6 +37,8 @@ func newFleetMetrics(c *Coordinator, r *telemetry.Registry) *fleetMetrics {
 			"Shard completions reported under a lease no longer held — late answers from presumed-dead workers, discarded."),
 		snapshotPulls: r.Counter("fleet_snapshot_pulls_total",
 			"Checkpoint snapshots pulled from workers at step boundaries."),
+		storeSeeds: r.Counter("fleet_store_seeds_total",
+			"Shard dispatches seeded from a blob-store checkpoint — resumes that survived a coordinator restart."),
 		dispatches: r.CounterVec("fleet_dispatches_total",
 			"Shard dispatch attempts by outcome (done, failed, lost, degraded).",
 			"outcome"),

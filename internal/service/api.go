@@ -526,6 +526,8 @@ type Server struct {
 	handler   http.Handler
 	log       *slog.Logger
 	heartbeat time.Duration
+	auth      *Auth
+	maxBody   int64
 }
 
 // ServerOptions tunes the HTTP layer.
@@ -540,10 +542,26 @@ type ServerOptions struct {
 	Heartbeat time.Duration
 	// Mounts adds extra handlers to the server mux by pattern — how the
 	// fleet coordinator hangs its control plane (/v1/fleet/...) off the
-	// job API. Mounted handlers pass through the same observe middleware
-	// (request id, access log, http_requests metric) as built-in routes.
+	// job API. Mounted handlers pass through the same observe and
+	// authentication middleware (request id, access log, http_requests
+	// metric, bearer-token tenancy) as built-in routes.
 	Mounts map[string]http.Handler
+	// Auth, when non-nil, requires a bearer token on every request except
+	// /healthz and /metrics, and enforces per-tenant rate limits on the
+	// job-creating endpoints. Nil serves every request as the anonymous
+	// tenant.
+	Auth *Auth
+	// MaxBodyBytes caps request bodies on the decoding endpoints
+	// (submit, batch, and the mounted fleet control plane); oversized
+	// requests are answered 413. 0 means 32 MiB — roomy enough for a
+	// seeded resume snapshot, small enough to stop an accidental or
+	// hostile multi-gigabyte POST from exhausting memory.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the request-body cap applied when
+// ServerOptions.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 32 << 20
 
 // NewServer wires the engine's handlers onto a fresh mux with default
 // options (discarded logs, no pprof).
@@ -559,7 +577,18 @@ func NewServerWith(e *Engine, opts ServerOptions) *Server {
 	if hb <= 0 {
 		hb = 15 * time.Second
 	}
-	s := &Server{engine: e, mux: http.NewServeMux(), log: log, heartbeat: hb}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		engine:    e,
+		mux:       http.NewServeMux(),
+		log:       log,
+		heartbeat: hb,
+		auth:      opts.Auth,
+		maxBody:   maxBody,
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/steps", s.handleSteps)
@@ -584,7 +613,7 @@ func NewServerWith(e *Engine, opts ServerOptions) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.observe(s.mux)
+	s.handler = s.observe(s.withAuth(s.mux))
 	return s
 }
 
@@ -605,6 +634,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // answered with a generic message plus the request id, so internal error
 // strings never leak to clients while operators can still correlate.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	// Every shed response tells the client when to come back: 429s usually
+	// arrive with an exact token-refill Retry-After already set (admit);
+	// anything else — queue-full and shutdown 503s included — gets the
+	// engine's queue-drain estimate. Retryable clients (fleet/retry honours
+	// Retry-After) then pace themselves instead of hammering.
+	if (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable) &&
+		w.Header().Get("Retry-After") == "" {
+		setRetryAfter(w, s.engine.ShedDelay())
+	}
 	if code >= 500 && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrClosed) {
 		id := RequestID(r.Context())
 		s.log.LogAttrs(r.Context(), slog.LevelError, "internal error",
@@ -628,12 +666,32 @@ func (s *Server) applyDefaultScene(spec *Spec) {
 	}
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(r.Body)
+// decodeBody decodes a JSON request body into v under the server's body cap,
+// answering 413 when the cap is hit and 400 on malformed JSON. Reports
+// whether the request was already answered.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("decode %s: body exceeds %d bytes", what, tooBig.Limit))
+			return false
+		}
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decode %s: %w", what, err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
-	if err := dec.Decode(&spec); err != nil {
-		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+	if !s.decodeBody(w, r, "spec", &spec) {
+		return
+	}
+	if !s.admit(w, r, 1) {
 		return
 	}
 	s.applyDefaultScene(&spec)
@@ -645,9 +703,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.engine.SubmitWith(cfg, SubmitOptions{
 		Snapshot:       spec.Snapshot,
 		RetainSnapshot: spec.RetainSnapshot,
+		Tenant:         TenantName(r.Context()),
 	})
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		s.engine.metrics.tenantShed.With(TenantName(r.Context()), "queue").Inc()
 		s.writeError(w, r, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrClosed):
@@ -694,11 +754,8 @@ type BatchResponse struct {
 const maxBatchSpecs = 1024
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
 	var req BatchRequest
-	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+	if !s.decodeBody(w, r, "batch", &req) {
 		return
 	}
 	if len(req.Specs) == 0 {
@@ -708,6 +765,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.Specs) > maxBatchSpecs {
 		s.writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("service: batch of %d specs exceeds limit %d", len(req.Specs), maxBatchSpecs))
+		return
+	}
+	// A batch spends one admission token per spec — otherwise batching
+	// would be a rate-limit bypass.
+	if !s.admit(w, r, len(req.Specs)) {
 		return
 	}
 
@@ -726,7 +788,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		cfgs = append(cfgs, cfg)
 		cfgIdx = append(cfgIdx, i)
 	}
-	for k, item := range s.engine.SubmitBatch(cfgs) {
+	for k, item := range s.engine.SubmitBatchAs(TenantName(r.Context()), cfgs) {
 		i := cfgIdx[k]
 		if item.Err != nil {
 			resp.Items[i].Error = item.Err.Error()

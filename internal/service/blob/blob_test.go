@@ -1,0 +1,168 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// stores builds one of each implementation for table-driven round-trips.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	fsStore, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMem(), "fs": fsStore}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Get("checkpoints/abc"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing key: got %v, want ErrNotFound", err)
+			}
+			data := []byte("snapshot-bytes\x00\x01")
+			if err := s.Put("checkpoints/abc", data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("checkpoints/abc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("round trip: got %q want %q", got, data)
+			}
+
+			// Overwrite replaces wholesale.
+			if err := s.Put("checkpoints/abc", []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := s.Get("checkpoints/abc"); string(got) != "v2" {
+				t.Fatalf("overwrite: got %q", got)
+			}
+
+			// List filters by prefix.
+			if err := s.Put("results/def", []byte("r")); err != nil {
+				t.Fatal(err)
+			}
+			keys, err := s.List("checkpoints/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 1 || keys[0] != "checkpoints/abc" {
+				t.Fatalf("list checkpoints/: %v", keys)
+			}
+			all, err := s.List("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(all)
+			want := []string{"checkpoints/abc", "results/def"}
+			if len(all) != 2 || all[0] != want[0] || all[1] != want[1] {
+				t.Fatalf("list all: %v want %v", all, want)
+			}
+
+			// Delete is effective and idempotent.
+			if err := s.Delete("checkpoints/abc"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("checkpoints/abc"); err != nil {
+				t.Fatalf("second delete: %v", err)
+			}
+			if _, err := s.Get("checkpoints/abc"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted key: got %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	bad := []string{"", "/abs", "trailing/", "a//b", "../escape", "a/../b", "a/./b", "nul\x00byte", "back\\slash"}
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, key := range bad {
+				if err := s.Put(key, []byte("x")); err == nil {
+					t.Errorf("Put(%q) accepted a bad key", key)
+				}
+				if _, err := s.Get(key); err == nil || errors.Is(err, ErrNotFound) {
+					t.Errorf("Get(%q) did not reject the key", key)
+				}
+			}
+		})
+	}
+}
+
+// TestFSEscapeConfinement pins that no key can read or write outside the
+// store root even through the raw path mapping.
+func TestFSEscapeConfinement(t *testing.T) {
+	root := t.TempDir()
+	outside := filepath.Join(root, "..", "victim")
+	os.WriteFile(outside, []byte("secret"), 0o644)
+	s, err := NewFS(filepath.Join(root, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("../victim"); err == nil {
+		t.Fatal("dot-dot key escaped the store root")
+	}
+	if err := s.Put("../victim", []byte("overwritten")); err == nil {
+		t.Fatal("dot-dot put escaped the store root")
+	}
+	if got, _ := os.ReadFile(outside); string(got) != "secret" {
+		t.Fatalf("file outside the root was modified: %q", got)
+	}
+}
+
+// TestConcurrentPutGet hammers one key from writers and readers; readers
+// must only ever observe complete values (run with -race).
+func TestConcurrentPutGet(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			valA := bytes.Repeat([]byte("a"), 4096)
+			valB := bytes.Repeat([]byte("b"), 4096)
+			if err := s.Put("k", valA); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						v := valA
+						if (w+i)%2 == 0 {
+							v = valB
+						}
+						if err := s.Put("k", v); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						got, err := s.Get("k")
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if !bytes.Equal(got, valA) && !bytes.Equal(got, valB) {
+							t.Errorf("torn read: %d bytes, first %q", len(got), got[:1])
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package blob
+
+import (
+	"strings"
+	"sync"
+)
+
+// Mem is an in-memory Store: a mutex-guarded map. Blobs are copied on Put
+// and Get, so callers can never alias the store's internal state. Use it
+// for tests and for servers that want the stateless-worker code paths
+// without durability.
+type Mem struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{blobs: map[string][]byte{}} }
+
+// Put implements Store.
+func (m *Mem) Put(key string, data []byte) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	m.blobs[key] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (m *Mem) Get(key string) ([]byte, error) {
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	data, ok := m.blobs[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Store.
+func (m *Mem) List(prefix string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var keys []string
+	for k := range m.blobs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(key string) error {
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.blobs, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of stored blobs.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs)
+}

@@ -54,7 +54,10 @@ func TestCheckpointResumeAcrossEngineRestart(t *testing.T) {
 	if !cacheable {
 		t.Fatal("test config must be cacheable")
 	}
-	ckpt := filepath.Join(dir, key+".ckpt")
+	ckpt := filepath.Join(dir, "checkpoints", key)
+	if err := os.MkdirAll(filepath.Dir(ckpt), 0o755); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.WriteFile(ckpt, sim.Snapshot(), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +138,7 @@ func TestCanceledJobResumesFromCheckpoint(t *testing.T) {
 	}
 
 	key, _ := cfg.Fingerprint()
-	if _, err := os.Stat(filepath.Join(dir, key+".ckpt")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "checkpoints", key)); err != nil {
 		t.Fatalf("canceled job left no checkpoint: %v", err)
 	}
 

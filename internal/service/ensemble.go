@@ -109,7 +109,9 @@ func (e *Engine) runEnsemble(j *Job) {
 		// never needed.
 		ccfg.KeepCells = true
 		ccfg.KeepBank = false
-		child, err := e.Submit(ccfg)
+		// Children inherit the parent's tenant so the fair-share scheduler
+		// charges the fan-out to the submitting tenant's lanes.
+		child, err := e.submit(ccfg, nil, SubmitOptions{Tenant: j.tenant})
 		if err != nil {
 			cancelChildren()
 			if j.finish(StateFailed, nil, fmt.Errorf("service: ensemble replica %d: %w", r, err), false) {

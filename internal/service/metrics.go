@@ -16,6 +16,8 @@ import (
 type engineMetrics struct {
 	checkpointWrites        *telemetry.Counter
 	checkpointWriteFailures *telemetry.Counter
+	blobResultHits          *telemetry.Counter
+	blobResultWrites        *telemetry.Counter
 	streamSubscribers       *telemetry.Gauge
 	jobDuration       *telemetry.HistogramVec
 	particleRate      *telemetry.HistogramVec
@@ -23,6 +25,10 @@ type engineMetrics struct {
 	solverHistories   *telemetry.CounterVec
 	solverWork        *telemetry.CounterVec
 	httpRequests      *telemetry.CounterVec
+	tenantRequests    *telemetry.CounterVec
+	tenantShed        *telemetry.CounterVec
+	tenantDenied      *telemetry.CounterVec
+	queueWait         *telemetry.HistogramVec
 }
 
 // newEngineMetrics registers the engine's metric vocabulary on r. Called
@@ -56,6 +62,23 @@ func newEngineMetrics(e *Engine, r *telemetry.Registry) *engineMetrics {
 		httpRequests: r.CounterVec("neutral_http_requests_total",
 			"HTTP requests served, by status code.",
 			"code"),
+		tenantRequests: r.CounterVec("neutral_tenant_requests_total",
+			"Authenticated HTTP requests, by tenant.",
+			"tenant"),
+		tenantShed: r.CounterVec("neutral_tenant_shed_total",
+			"Requests shed by admission control, by tenant and reason (rate = over token-bucket budget, queue = shard queue full).",
+			"tenant", "reason"),
+		tenantDenied: r.CounterVec("neutral_tenant_denied_total",
+			"Requests refused by authentication, by reason (missing, unknown, revoked).",
+			"reason"),
+		queueWait: r.HistogramVec("neutral_tenant_queue_wait_seconds",
+			"Queue residency from admission to worker pickup, by tenant — the fair-share scheduler's output variable.",
+			telemetry.ExpBuckets(0.0001, 4, 10), // 0.1ms .. ~26s
+			"tenant"),
+		blobResultHits: r.Counter("neutral_blob_result_hits_total",
+			"Submissions served from the blob store's persistent result tier (memory-cache misses that skipped a solve)."),
+		blobResultWrites: r.Counter("neutral_blob_result_writes_total",
+			"Completed results persisted into the blob store."),
 	}
 
 	r.GaugeFunc("neutral_shards", "Worker-pool width.",

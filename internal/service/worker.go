@@ -2,11 +2,10 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/scene"
+	"repro/internal/service/blob"
 	"repro/internal/stats"
 	"repro/internal/tally"
 	"repro/internal/telemetry"
@@ -68,6 +68,13 @@ type Job struct {
 	id  string
 	key string // config fingerprint; empty for uncacheable configs
 	cfg core.Config
+	// tenant names the submitting tenant — the fair-share scheduling key
+	// and the queue-wait metric label. AnonymousTenant when the engine
+	// runs without authentication.
+	tenant string
+	// enqueued is stamped by Queue.Push; the queue-wait metric is the
+	// pop-to-push delta.
+	enqueued time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -382,16 +389,19 @@ type Options struct {
 	// instead of each claiming every core. 0 means GOMAXPROCS/Shards,
 	// floored at 1.
 	ThreadsPerJob int
-	// CheckpointDir, when non-empty, enables job checkpointing: workers
-	// snapshot each cacheable job at timestep boundaries into this
-	// directory (keyed by config fingerprint), and a later submission of
-	// the same config — in this engine or one started after a crash or
-	// restart over the same directory — resumes from the last snapshot
-	// instead of re-running completed steps. Checkpoints are removed on
-	// successful completion. Checkpointing is best-effort: a directory
-	// that cannot be created disables it silently, so callers that need
-	// durability guaranteed should verify writability first (as
-	// cmd/neutral-serve does).
+	// Blobs, when non-nil, is the engine's durable storage: checkpoints
+	// land under "checkpoints/<fingerprint>" and completed results under
+	// "results/<fingerprint>", so any engine opened over the same store —
+	// this process restarted, or a replica behind a load balancer sharing
+	// a volume — resumes in-flight work and serves finished work without
+	// recomputing. The store is the precondition for stateless workers.
+	Blobs blob.Store
+	// CheckpointDir, when non-empty and Blobs is nil, wraps the directory
+	// in a filesystem blob store — the backward-compatible spelling of
+	// Blobs. Checkpoints are removed on successful completion.
+	// Best-effort: a directory that cannot be created disables it
+	// silently, so callers that need durability guaranteed should verify
+	// writability first (as cmd/neutral-serve does).
 	CheckpointDir string
 	// CheckpointEvery writes a snapshot every n completed steps. 0 means
 	// every step.
@@ -498,6 +508,9 @@ type Engine struct {
 	canceled  atomic.Uint64
 	runs      atomic.Uint64 // actual solver executions (cache misses)
 	running   atomic.Int64  // jobs currently on a worker
+	// avgRunNS is the EWMA of solve wallclock ShedDelay prices queue
+	// drain with.
+	avgRunNS atomic.Int64
 
 	// runFn, when non-nil, replaces the Simulation-driven solve path;
 	// tests substitute stubs through it.
@@ -507,11 +520,11 @@ type Engine struct {
 // New builds an engine and starts its worker pool.
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
-	if opts.CheckpointDir != "" {
+	if opts.Blobs == nil && opts.CheckpointDir != "" {
 		// Checkpointing is best-effort: an unusable directory disables
 		// it rather than failing the engine.
-		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
-			opts.CheckpointDir = ""
+		if fs, err := blob.NewFS(opts.CheckpointDir); err == nil {
+			opts.Blobs = fs
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -559,6 +572,9 @@ type SubmitOptions struct {
 	// the job for GET /v1/jobs/{id}/snapshot — the coordinator's pull
 	// path. Off by default: a snapshot is bank-sized.
 	RetainSnapshot bool
+	// Tenant names the submitting tenant for fair-share scheduling and
+	// the per-tenant metric families; empty means AnonymousTenant.
+	Tenant string
 }
 
 // SubmitWith is Submit with fleet-transport options.
@@ -589,11 +605,16 @@ func (e *Engine) submit(cfg core.Config, pinned *Queue, so SubmitOptions) (*Job,
 	id := fmt.Sprintf("job-%06d", e.seq)
 	e.mu.Unlock()
 
+	tenant := so.Tenant
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 	jctx, jcancel := context.WithCancel(e.ctx)
 	j := &Job{
 		id:          id,
 		key:         key,
 		cfg:         cfg,
+		tenant:      tenant,
 		ctx:         jctx,
 		cancel:      jcancel,
 		done:        make(chan struct{}),
@@ -614,6 +635,17 @@ func (e *Engine) submit(cfg core.Config, pinned *Queue, so SubmitOptions) (*Job,
 			j.mu.Unlock()
 			j.finish(StateDone, res, nil, true)
 			e.completed.Add(1)
+			e.record(j)
+			return j, nil
+		}
+		// Persistent tier: a result another engine — or this process
+		// before a restart — stored in the blob store serves the job
+		// without a solve, exactly like a memory cache hit.
+		if res, ok := e.storedResult(key, cfg); ok {
+			e.cache.Put(key, res)
+			j.finish(StateDone, res, nil, true)
+			e.completed.Add(1)
+			e.metrics.blobResultHits.Inc()
 			e.record(j)
 			return j, nil
 		}
@@ -667,6 +699,12 @@ type BatchItem struct {
 // still dedups the sequential case, and checkpoint writes are
 // collision-safe).
 func (e *Engine) SubmitBatch(cfgs []core.Config) []BatchItem {
+	return e.SubmitBatchAs("", cfgs)
+}
+
+// SubmitBatchAs is SubmitBatch on behalf of a named tenant, so every item
+// lands in the tenant's fair-share lane.
+func (e *Engine) SubmitBatchAs(tenant string, cfgs []core.Config) []BatchItem {
 	// Pin the whole batch to the home shard of its first cacheable
 	// config so duplicate batches still serialise behind each other.
 	var pinned *Queue
@@ -691,7 +729,7 @@ func (e *Engine) SubmitBatch(cfgs []core.Config) []BatchItem {
 
 	items := make([]BatchItem, len(cfgs))
 	for i, cfg := range cfgs {
-		items[i].Job, items[i].Err = e.submit(cfg, pinned, SubmitOptions{})
+		items[i].Job, items[i].Err = e.submit(cfg, pinned, SubmitOptions{Tenant: tenant})
 	}
 	return items
 }
@@ -726,6 +764,9 @@ func (e *Engine) worker(q *Queue) {
 		j, ok := q.Pop()
 		if !ok {
 			return
+		}
+		if !j.enqueued.IsZero() {
+			e.metrics.queueWait.With(j.tenant).Observe(time.Since(j.enqueued).Seconds())
 		}
 		e.execute(j, &reuse)
 	}
@@ -771,9 +812,11 @@ func (e *Engine) execute(j *Job, reuse **core.Simulation) {
 	case err == nil:
 		if j.key != "" {
 			e.cache.Put(j.key, res)
+			e.persistResult(j, res)
 		}
 		if j.finish(StateDone, res, nil, false) {
 			e.completed.Add(1)
+			e.observeRunDuration(time.Since(j.started))
 			e.metrics.observeRun(res, time.Since(j.started))
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -806,17 +849,17 @@ func (e *Engine) tryRemote(j *Job) (*core.Result, error, bool) {
 }
 
 // solve drives one job through the core Simulation lifecycle: resume from a
-// submission-seeded snapshot or an on-disk checkpoint when one exists,
+// submission-seeded snapshot or a stored checkpoint when one exists,
 // otherwise Reset the worker's retained engine or build a fresh one; stream
 // per-step results onto the job; checkpoint at step boundaries; drop the
 // checkpoint on success.
 func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
-	ckpt := e.checkpointPath(j.key)
+	ckpt := e.checkpointKey(j.key)
 	var sim *core.Simulation
 	if seed := j.takeSeedSnap(); seed != nil {
-		// A seeded snapshot outranks any local checkpoint: the
-		// coordinator hands the freshest resume point it pulled, while a
-		// file here is whatever an earlier attempt left behind.
+		// A seeded snapshot outranks any stored checkpoint: the
+		// coordinator hands the freshest resume point it pulled, while the
+		// store holds whatever an earlier attempt left behind.
 		if restored, rerr := core.RestoreSimulation(j.cfg, seed); rerr == nil {
 			sim = restored
 			j.setResumedFrom(restored.StepIndex())
@@ -825,14 +868,14 @@ func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
 		}
 	}
 	if sim == nil && ckpt != "" {
-		if data, err := os.ReadFile(ckpt); err == nil {
+		if data, err := e.opts.Blobs.Get(ckpt); err == nil {
 			if restored, rerr := core.RestoreSimulation(j.cfg, data); rerr == nil {
 				sim = restored
 				j.setResumedFrom(restored.StepIndex())
 			} else {
 				// Corrupt or mismatched checkpoint: discard it and
 				// run fresh rather than failing the job.
-				os.Remove(ckpt)
+				e.opts.Blobs.Delete(ckpt)
 			}
 		}
 	}
@@ -868,13 +911,13 @@ func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
 			if data == nil {
 				data = s.Snapshot()
 			}
-			// Atomic and collision-safe (unique temp names), so even a
+			// Store puts are atomic and collision-safe, so even a
 			// batch-pinned duplicate of a routed job cannot publish a
 			// torn checkpoint. Best-effort — but never silent: a failed
 			// write surfaces as a job warning and a counter, because an
 			// operator who configured checkpointing is owed the news
 			// that durability is gone.
-			if werr := core.WriteSnapshotFile(ckpt, data); werr == nil {
+			if werr := e.opts.Blobs.Put(ckpt, data); werr == nil {
 				e.metrics.checkpointWrites.Inc()
 			} else {
 				e.metrics.checkpointWriteFailures.Inc()
@@ -883,7 +926,7 @@ func (e *Engine) solve(j *Job, reuse **core.Simulation) (*core.Result, error) {
 		}
 	})
 	if err == nil && ckpt != "" {
-		os.Remove(ckpt)
+		e.opts.Blobs.Delete(ckpt)
 	}
 	return res, err
 }
@@ -902,13 +945,61 @@ func stepViewOf(s *core.Simulation) StepView {
 	}
 }
 
-// checkpointPath maps a cacheable fingerprint to its checkpoint file; jobs
-// without a canonical fingerprint are never checkpointed.
-func (e *Engine) checkpointPath(key string) string {
-	if e.opts.CheckpointDir == "" || key == "" {
+// checkpointKey maps a cacheable fingerprint to its blob-store checkpoint
+// key; "" (never checkpointed) without a store or a canonical fingerprint.
+func (e *Engine) checkpointKey(key string) string {
+	if e.opts.Blobs == nil || key == "" {
 		return ""
 	}
-	return filepath.Join(e.opts.CheckpointDir, key+".ckpt")
+	return "checkpoints/" + key
+}
+
+// resultKey maps a cacheable fingerprint to its blob-store persisted-result
+// key; "" without a store or a canonical fingerprint.
+func (e *Engine) resultKey(key string) string {
+	if e.opts.Blobs == nil || key == "" {
+		return ""
+	}
+	return "results/" + key
+}
+
+// storedResult consults the blob store's persistent result tier on a memory
+// cache miss. Only plain single runs participate: the wire view carries no
+// particle banks (KeepBank) and no per-replica histories, and an ensemble
+// parent's merged statistics live with the in-memory cache entry.
+func (e *Engine) storedResult(key string, cfg core.Config) (*core.Result, bool) {
+	rk := e.resultKey(key)
+	if rk == "" || cfg.Replicas > 1 || cfg.KeepBank {
+		return nil, false
+	}
+	data, err := e.opts.Blobs.Get(rk)
+	if err != nil {
+		return nil, false
+	}
+	var rv ResultView
+	if json.Unmarshal(data, &rv) != nil {
+		// Corrupt entry: drop it so the next miss re-persists cleanly.
+		e.opts.Blobs.Delete(rk)
+		return nil, false
+	}
+	return rv.Result(cfg), true
+}
+
+// persistResult writes a completed result into the store's persistent tier
+// (best-effort, same eligibility as storedResult) so a restarted process —
+// or a stateless replica sharing the store — serves it without a solve.
+func (e *Engine) persistResult(j *Job, res *core.Result) {
+	rk := e.resultKey(j.key)
+	if rk == "" || j.cfg.Replicas > 1 || j.cfg.KeepBank {
+		return
+	}
+	data, err := json.Marshal(resultViewOf(res))
+	if err != nil {
+		return
+	}
+	if e.opts.Blobs.Put(rk, data) == nil {
+		e.metrics.blobResultWrites.Inc()
+	}
 }
 
 // Job looks up a job by ID.
@@ -1004,15 +1095,14 @@ func (e *Engine) Cache() *Cache { return e.cache }
 func (e *Engine) DefaultScene() *scene.Scene { return e.opts.DefaultScene }
 
 // CheckpointInFlight writes the latest retained snapshot of every
-// non-terminal job into the checkpoint directory — the SIGTERM drain path:
-// called before Close, it persists each in-flight shard at its last step
-// boundary so a process restarted over the same directory (or a coordinator
-// rescheduling the shard elsewhere) resumes instead of re-running. Returns
-// the number of snapshots written. A no-op without a checkpoint directory;
-// jobs that retain no snapshot rely on their regular per-step file
-// checkpoints, which Close leaves in place.
+// non-terminal job into the blob store — the SIGTERM drain path: called
+// before Close, it persists each in-flight shard at its last step boundary
+// so a process restarted over the same store (or a coordinator rescheduling
+// the shard elsewhere) resumes instead of re-running. Returns the number of
+// snapshots written. A no-op without a store; jobs that retain no snapshot
+// rely on their regular per-step checkpoints, which Close leaves in place.
 func (e *Engine) CheckpointInFlight() int {
-	if e.opts.CheckpointDir == "" {
+	if e.opts.Blobs == nil {
 		return 0
 	}
 	n := 0
@@ -1025,7 +1115,7 @@ func (e *Engine) CheckpointInFlight() int {
 		if terminal || snap == nil || key == "" {
 			continue
 		}
-		if core.WriteSnapshotFile(e.checkpointPath(key), snap) == nil {
+		if e.opts.Blobs.Put(e.checkpointKey(key), snap) == nil {
 			e.metrics.checkpointWrites.Inc()
 			n++
 		} else {
