@@ -1,0 +1,88 @@
+// Command locality-meas is the measurement protocol behind BENCH_pr10: it
+// times the Over Events locality matrix ({AoS,SoA} x {row-major,
+// Morton+sort}) in a single process, alternating configurations every
+// repetition and reporting the minimum kernel wall time per configuration.
+//
+// In-process alternating min-of-N is the only protocol that produces stable
+// numbers on a shared 1-CPU VM: process-level timing folds in scheduler and
+// page-cache noise an order of magnitude larger than the effects under
+// study, and consecutive (non-alternating) repetitions let slow drift in
+// background load masquerade as a configuration difference. Result.Wall
+// already excludes setup, so the minima are pure kernel time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/particle"
+)
+
+func main() {
+	nx := flag.Int("nx", 0, "mesh cells in x (0 = problem default)")
+	ny := flag.Int("ny", 0, "mesh cells in y (0 = problem default)")
+	particles := flag.Int("particles", 0, "particle count (0 = problem default)")
+	steps := flag.Int("steps", 0, "timesteps (0 = problem default)")
+	threads := flag.Int("threads", 0, "worker count (0 = problem default)")
+	reps := flag.Int("reps", 12, "repetitions per configuration")
+	sortEvery := flag.Int("sort-every", 1, "SortEvery for the morton+sort configurations")
+	flag.Parse()
+
+	one := func(layout particle.Layout, ord mesh.Ordering, sort int) float64 {
+		cfg := core.Default(mesh.CSP)
+		cfg.Scheme = core.OverEvents
+		cfg.Layout = layout
+		cfg.Ordering = ord
+		cfg.SortEvery = sort
+		if *nx > 0 {
+			cfg.NX = *nx
+		}
+		if *ny > 0 {
+			cfg.NY = *ny
+		}
+		if *particles > 0 {
+			cfg.Particles = *particles
+		}
+		if *steps > 0 {
+			cfg.Steps = *steps
+		}
+		if *threads > 0 {
+			cfg.Threads = *threads
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return res.Wall.Seconds()
+	}
+
+	configs := []struct {
+		name string
+		l    particle.Layout
+		o    mesh.Ordering
+		s    int
+	}{
+		{"aos/row-major", particle.AoS, mesh.RowMajor, 0},
+		{"aos/morton+sort", particle.AoS, mesh.Morton, *sortEvery},
+		{"soa/row-major", particle.SoA, mesh.RowMajor, 0},
+		{"soa/morton+sort", particle.SoA, mesh.Morton, *sortEvery},
+	}
+	mins := make([]float64, len(configs))
+	for i := range mins {
+		mins[i] = 1e9
+	}
+	for r := 0; r < *reps; r++ {
+		for ci, c := range configs {
+			w := one(c.l, c.o, c.s)
+			if w < mins[ci] {
+				mins[ci] = w
+			}
+		}
+	}
+	for ci, c := range configs {
+		fmt.Fprintf(os.Stdout, "%-18s min %.1f ms\n", c.name, mins[ci]*1e3)
+	}
+}

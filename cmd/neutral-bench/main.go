@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/perfcount"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func run() error {
 		outPath    = flag.String("o", "", "write output to a file instead of stdout")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		metrics    = flag.Bool("metrics", false, "append the harness telemetry snapshot (Prometheus text) after the tables")
+		counters   = flag.Bool("counters", false, "count perf events (cycles, cache misses, ...) over the whole suite and report totals")
 	)
 	flag.Parse()
 
@@ -72,6 +75,27 @@ func run() error {
 		exps = []harness.Experiment{e}
 	}
 
+	// A process-wide counter group spanning every experiment. JSON output
+	// always carries the counters block — null when the host offers no
+	// events — so CI artifacts are schema-stable across machines.
+	var group *perfcount.Group
+	if *counters || *jsonOut {
+		g, err := perfcount.Open(perfcount.DefaultEvents()...)
+		switch {
+		case errors.Is(err, perfcount.ErrUnsupported):
+			if *counters {
+				fmt.Fprintln(os.Stderr, "neutral-bench: performance counters unsupported on this system; continuing without")
+			}
+		case err != nil:
+			return err
+		default:
+			defer g.Close()
+			if err := g.Enable(); err == nil {
+				group = g
+			}
+		}
+	}
+
 	if *markdown && !*jsonOut {
 		fmt.Fprintf(out, "# Reproduced evaluation (%s scale, generated %s)\n\n",
 			*scale, time.Now().UTC().Format("2006-01-02"))
@@ -101,10 +125,22 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "%-12s done in %v\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 	if *jsonOut {
+		if group != nil {
+			report.Counters = group.Totals()
+		}
+		report.Runs = harness.RunStats()
 		report.Metrics = harness.MetricsSnapshot()
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(report)
+	}
+	if *counters && group != nil {
+		totals := group.Totals()
+		fmt.Fprintln(out, "== counters (whole suite) ==")
+		for _, name := range group.Names() {
+			fmt.Fprintf(out, "%-18s %d\n", name, totals[name])
+		}
+		fmt.Fprintln(out)
 	}
 	if *metrics {
 		fmt.Fprint(out, harness.MetricsSnapshot())
@@ -119,6 +155,12 @@ type jsonReport struct {
 	Generated string       `json:"generated"`
 	Scale     string       `json:"scale"`
 	Figures   []jsonFigure `json:"figures"`
+	// Counters holds whole-suite perf event totals, keyed by event name;
+	// null on hosts where perf_event_open offers no events.
+	Counters map[string]uint64 `json:"counters"`
+	// Runs reports the min/median/stddev wallclock of every native
+	// configuration's repeat runs — the spread behind the best-of figures.
+	Runs []harness.RunStat `json:"runs,omitempty"`
 	// Metrics is the harness telemetry snapshot in Prometheus text
 	// exposition: native runs, cumulative solver wallclock, and solver
 	// event/work counters aggregated over every experiment above.

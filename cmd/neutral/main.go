@@ -38,6 +38,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/mesh"
+	"repro/internal/perfcount"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -65,6 +66,7 @@ func run() error {
 		replicas = flag.Int("replicas", 1, "independent replicas to run and fold into per-cell uncertainty")
 		rr       = flag.Float64("rr", 0, "weight-window target weight: enables Russian roulette + splitting population control (0 = off)")
 		trace    = flag.String("trace", "", "write per-step phase spans to this file as Chrome trace-event JSON")
+		counters = flag.Bool("counters", false, "attribute hardware/software performance counters to solver phases (perf_event_open; degrades to a notice where unsupported)")
 	)
 	flag.Parse()
 
@@ -132,6 +134,21 @@ func run() error {
 		cliutil.AttachTrace(sim, tr.Track(cliutil.Describe(cfg)))
 	}
 
+	var collector *perfcount.Collector
+	if *counters {
+		c, err := perfcount.NewCollector(perfcount.DefaultEvents()...)
+		switch {
+		case errors.Is(err, perfcount.ErrUnsupported):
+			fmt.Fprintln(os.Stderr, "neutral: performance counters unsupported on this system; running without")
+		case err != nil:
+			return err
+		default:
+			collector = c
+			defer c.Close()
+			sim.SetRegionProbe(c)
+		}
+	}
+
 	var onStep core.StepFunc
 	if *ckpt != "" {
 		onStep = func(s *core.Simulation) {
@@ -164,10 +181,36 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "neutral: wrote trace to %s (load in chrome://tracing or Perfetto)\n", *trace)
 	}
 	printResult(res)
+	if collector != nil {
+		printCounters(collector)
+	}
 	if *cells {
 		printTally(res, cfg)
 	}
 	return nil
+}
+
+// printCounters renders the per-phase performance-counter attribution: one
+// line per probed solver phase, one column per event that actually opened.
+func printCounters(c *perfcount.Collector) {
+	names := c.Names()
+	phases := c.Phases()
+	if len(phases) == 0 {
+		return
+	}
+	fmt.Printf("counters     (events: %v)\n", names)
+	for _, phase := range []string{"event-kernel", "collision-kernel", "facet-kernel",
+		"tally-kernel", "fused", "merge", "control", "sort"} {
+		bucket, ok := phases[phase]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-17s", phase)
+		for _, ev := range names {
+			fmt.Printf(" %s=%d", ev, bucket[ev])
+		}
+		fmt.Println()
+	}
 }
 
 // runEnsemble executes the multi-replica path: R independent replicas on
@@ -209,6 +252,9 @@ func printResult(res *core.Result) {
 		cliutil.Describe(cfg), cfg.NX, cfg.NY, cfg.Particles, cfg.Steps)
 	fmt.Printf("scheme       %s  schedule %s  layout %s  tally %s  threads %d\n",
 		cfg.Scheme, cfg.Schedule, cfg.Layout, cfg.Tally, cfg.Threads)
+	if cfg.Ordering != mesh.RowMajor || cfg.SortEvery > 0 {
+		fmt.Printf("locality     ordering %s  sort-every %d\n", cfg.Ordering, cfg.SortEvery)
+	}
 	fmt.Printf("wallclock    %v\n", res.Wall)
 	if phases := cliutil.PhaseSummary(res.Phases); phases != "" {
 		fmt.Printf("phases       %s\n", phases)

@@ -26,13 +26,15 @@ import (
 // RunFlags is the shared flag block. Values are bound by Register and
 // resolved by Config.
 type RunFlags struct {
-	Problem  *string
-	Scene    *string
-	Scheme   *string
-	Schedule *string
-	Chunk    *int
-	Layout   *string
-	Tally    *string
+	Problem   *string
+	Scene     *string
+	Scheme    *string
+	Schedule  *string
+	Chunk     *int
+	Layout    *string
+	Tally     *string
+	Ordering  *string
+	SortEvery *int
 }
 
 // Register installs the shared run-configuration flags onto fs (use
@@ -46,6 +48,10 @@ func Register(fs *flag.FlagSet) *RunFlags {
 		Chunk:    fs.Int("chunk", 0, "schedule chunk size"),
 		Layout:   fs.String("layout", "aos", "particle layout: aos or soa"),
 		Tally:    fs.String("tally", "atomic", "tally: atomic, private, serial, null or buffered"),
+		Ordering: fs.String("ordering", "row-major",
+			"mesh storage ordering: row-major or morton (Z-order curve)"),
+		SortEvery: fs.Int("sort-every", 0,
+			"sort the particle bank by cell every N steps (0 disables)"),
 	}
 }
 
@@ -83,6 +89,10 @@ func (f *RunFlags) Config(paper bool) (core.Config, error) {
 	if cfg.Tally, err = tally.ParseMode(*f.Tally); err != nil {
 		return core.Config{}, err
 	}
+	if cfg.Ordering, err = mesh.ParseOrdering(*f.Ordering); err != nil {
+		return core.Config{}, err
+	}
+	cfg.SortEvery = *f.SortEvery
 	return cfg, nil
 }
 

@@ -96,6 +96,17 @@ type Config struct {
 	// timestep — the paper's realistic coupled-physics case, which made
 	// privatisation slower than atomics on all architectures (§VI-F).
 	MergePerStep bool
+	// Ordering picks the storage order of the mesh-shaped arrays (density,
+	// tally): row-major or a Z-order curve. Pure execution strategy — every
+	// externally visible per-cell view stays in logical row-major order and
+	// the physics is bit-identical across orderings.
+	Ordering mesh.Ordering
+	// SortEvery, when positive, sorts the particle bank by storage cell
+	// index every SortEvery timesteps (before the step's transport, outside
+	// both scheme loops). Sorting is a physics-preserving permutation:
+	// particle state and RNG streams ride along, only the slot order — and
+	// hence the memory access pattern of the kernels — changes. 0 disables.
+	SortEvery int
 
 	// Replicas is the ensemble width: how many statistically independent
 	// replicas an ensemble driver (stats.RunEnsemble, the service's
@@ -211,6 +222,7 @@ func (c Config) Fingerprint() (string, bool) {
 	fmt.Fprintf(h, "threads=%d scheme=%d sched=%d chunk=%d layout=%d tally=%d merge=%t ",
 		c.Threads, int(c.Scheme), int(c.Schedule.Kind), c.Schedule.Chunk,
 		int(c.Layout), int(c.Tally), c.MergePerStep)
+	fmt.Fprintf(h, "ord=%d sortevery=%d ", int(c.Ordering), c.SortEvery)
 	fmt.Fprintf(h, "xs=%d wcut=%x ecut=%x bank=%t cells=%t ",
 		c.XSPoints, math.Float64bits(c.WeightCutoff),
 		math.Float64bits(c.EnergyCutoff), c.KeepBank, c.KeepCells)
@@ -314,6 +326,12 @@ func (c *Config) Validate() error {
 	}
 	if c.EnergyCutoff <= 0 {
 		return fmt.Errorf("core: energy cutoff %v must be positive", c.EnergyCutoff)
+	}
+	if c.Ordering != mesh.RowMajor && c.Ordering != mesh.Morton {
+		return fmt.Errorf("core: unknown mesh ordering %d", int(c.Ordering))
+	}
+	if c.SortEvery < 0 {
+		return fmt.Errorf("core: sort interval %d must be non-negative", c.SortEvery)
 	}
 	if c.Tally == tally.ModeSerial && c.Threads > 1 {
 		return fmt.Errorf("core: serial tally requires a single thread, got %d", c.Threads)

@@ -127,11 +127,13 @@ type PhaseTimings struct {
 	Merge time.Duration
 	// Control is the serial population-control pass (weight windows only).
 	Control time.Duration
+	// Sort is the serial periodic bank sort (Config.SortEvery only).
+	Sort time.Duration
 }
 
 // Total sums all phases.
 func (p PhaseTimings) Total() time.Duration {
-	return p.EventKernel + p.CollisionKernel + p.FacetKernel + p.TallyKernel + p.Fused + p.Merge + p.Control
+	return p.EventKernel + p.CollisionKernel + p.FacetKernel + p.TallyKernel + p.Fused + p.Merge + p.Control + p.Sort
 }
 
 // Add returns the per-phase sum p + other.
@@ -144,6 +146,7 @@ func (p PhaseTimings) Add(other PhaseTimings) PhaseTimings {
 		Fused:           p.Fused + other.Fused,
 		Merge:           p.Merge + other.Merge,
 		Control:         p.Control + other.Control,
+		Sort:            p.Sort + other.Sort,
 	}
 }
 
@@ -158,6 +161,7 @@ func (p PhaseTimings) Sub(other PhaseTimings) PhaseTimings {
 		Fused:           p.Fused - other.Fused,
 		Merge:           p.Merge - other.Merge,
 		Control:         p.Control - other.Control,
+		Sort:            p.Sort - other.Sort,
 	}
 }
 
@@ -176,6 +180,7 @@ func (p PhaseTimings) Each(fn func(name string, d time.Duration)) {
 		{"fused", p.Fused},
 		{"merge", p.Merge},
 		{"control", p.Control},
+		{"sort", p.Sort},
 	} {
 		if ph.d != 0 {
 			fn(ph.name, ph.d)

@@ -74,7 +74,24 @@ func (r *run) ensureOE() {
 		sc.nCens = make([]int32, threads)
 		sc.nKeep = make([]int32, threads)
 	}
+	if cap(r.speedCache) < n {
+		r.speedCache = make([]float64, n)
+	}
+	// Fresh step: recompute every slot's speed on first touch. See the
+	// field comment for why per-step clearing is the whole invalidation
+	// story for slot identity.
+	spd := r.speedCache[:n]
+	for i := range spd {
+		spd[i] = 0
+	}
+	r.speedCache = spd
 }
+
+// prefetchAhead is how many active-list entries ahead of the working
+// iteration the event kernel touches the bank. Far enough that the lines
+// arrive before the loop does (~8 iterations of divides is hundreds of
+// cycles), near enough to stay inside the round's working set.
+const prefetchAhead = 8
 
 // oeWorkers caps a kernel's worker count by the work available: a tail
 // round carrying a few dozen in-flight particles runs on one or two workers
@@ -169,25 +186,43 @@ func (r *run) stepOverEvents(res *Result) {
 		// fields advance reads and store the fields it can modify —
 		// for SoA that skips the weight/deposit/RNG/id/status columns
 		// a pure mover never touches.
+		r.regionStart("event-kernel")
 		t0 := time.Now()
 		parallelFor(oeWorkers(threads, n), n, oeSchedule, func(w, lo, hi int) {
 			ws := r.workers[w]
 			start := time.Now()
 			var scratch particle.Particle
+			var pfSink uint64
+			spd := r.speedCache
 			nc, nf, ncen := 0, 0, 0
 			for k := lo; k < hi; k++ {
+				// Software pipeline: start pulling the record a few
+				// iterations ahead into cache while this iteration's
+				// divides retire. The sink keeps the touch loads live.
+				if prefetchAhead > 0 && k+prefetchAhead < hi {
+					pfSink += r.bank.TouchSlot(int(sc.active[k+prefetchAhead]))
+				}
 				i := int(sc.active[k])
 				p := r.bank.View(i, &scratch)
-				// No register caching across events: the
-				// density and cross sections are re-read from
-				// memory for every round.
-				rho := r.mesh.Density(int(p.CellX), int(p.CellY))
+				// No register caching of the transport state across
+				// events: the density and cross sections are re-read
+				// from memory for every round. The read lands on the
+				// memoised number-density field (same cell, same
+				// storage order as the raw densities).
+				nd := r.ndCache[r.mesh.StorageIndex(int(p.CellX), int(p.CellY))]
 				ws.c.DensityReads++
 				if p.CachedSigmaA < 0 {
 					lookupXS(ws, p)
 				}
-				speed := events.Speed(p.Energy)
-				sigmaT := xs.Macroscopic(p.CachedSigmaA+p.CachedSigmaS, rho)
+				speed := spd[i]
+				if speed == 0 {
+					speed = events.Speed(p.Energy)
+					spd[i] = speed
+				}
+				// Bit-identical expansion of xs.Macroscopic over the
+				// memoised factor: ((sigma*B)*nd), the order the
+				// function evaluates.
+				sigmaT := (p.CachedSigmaA + p.CachedSigmaS) * xs.BarnsToSquareMetres * nd
 				ev, axis, dir := advance(r.mesh, p, sigmaT, speed)
 				ws.c.Segments++
 				switch ev {
@@ -217,6 +252,7 @@ func (r *run) stepOverEvents(res *Result) {
 			sc.segLo[w] = int32(lo)
 			sc.nColl[w], sc.nFacet[w], sc.nCens[w] = int32(nc), int32(nf), int32(ncen)
 			ws.c.OEActiveVisits += uint64(hi - lo)
+			ws.pfSink = pfSink
 			if ncen > 0 {
 				r.done.Add(int64(ncen))
 			}
@@ -227,10 +263,12 @@ func (r *run) stepOverEvents(res *Result) {
 		packGeom(sc.facetG, sc.segLo, sc.nFacet[:threads])
 		censusLen += packSegments(sc.census, censusLen, sc.segLo, sc.nCens[:threads])
 		res.Phases.EventKernel += time.Since(t0)
+		r.regionEnd("event-kernel")
 
 		// Kernel 2: handle_collision for every colliding particle.
 		// Survivors are gathered into the next-round shadow; deaths
 		// retire here.
+		r.regionStart("collision-kernel")
 		t0 = time.Now()
 		for w := 0; w < threads; w++ {
 			sc.segLo[w], sc.nKeep[w] = 0, 0
@@ -247,6 +285,9 @@ func (r *run) stepOverEvents(res *Result) {
 				ws.c.CollisionEvents++
 				ws.c.RNGDraws += 3
 				cr := events.Collide(&r.ctx, &p, &s, p.CachedSigmaA, p.CachedSigmaS)
+				// A collision is the one mid-step energy change:
+				// drop the memoised speed with the cross sections.
+				r.speedCache[i] = 0
 				if cr.Died {
 					ws.c.Deaths++
 					r.flush(ws, &p)
@@ -272,6 +313,7 @@ func (r *run) stepOverEvents(res *Result) {
 		})
 		nSurv := packSegments(sc.next, 0, sc.segLo, sc.nKeep[:threads])
 		res.Phases.CollisionKernel += time.Since(t0)
+		r.regionEnd("collision-kernel")
 
 		// Kernels 3+4 fused: handle_facet — flush the deposit register
 		// into the cell being left (the paper's separate tally loop,
@@ -292,6 +334,7 @@ func (r *run) stepOverEvents(res *Result) {
 		// is skipped and the whole bucket survives, exactly the paper
 		// hot path. The flush time is attributed to FacetKernel;
 		// TallyKernel times the census flush pass.
+		r.regionStart("facet-kernel")
 		t0 = time.Now()
 		if !canLeak {
 			parallelFor(oeWorkers(threads, nFacet), nFacet, oeSchedule, func(w, lo, hi int) {
@@ -311,7 +354,7 @@ func (r *run) stepOverEvents(res *Result) {
 						// record touch, no call layers. Same
 						// operations as the view path below.
 						if p.Deposit != 0 {
-							r.tly.Add(ws.id, r.mesh.Index(int(p.CellX), int(p.CellY)), p.Deposit)
+							r.tly.Add(ws.id, r.mesh.StorageIndex(int(p.CellX), int(p.CellY)), p.Deposit)
 							p.Deposit = 0
 						}
 						ws.c.TallyFlushes++
@@ -348,7 +391,7 @@ func (r *run) stepOverEvents(res *Result) {
 					var outcome events.FacetOutcome
 					if p := r.bank.Ref(i); p != nil {
 						if p.Deposit != 0 {
-							r.tly.Add(ws.id, r.mesh.Index(int(p.CellX), int(p.CellY)), p.Deposit)
+							r.tly.Add(ws.id, r.mesh.StorageIndex(int(p.CellX), int(p.CellY)), p.Deposit)
 							p.Deposit = 0
 						}
 						ws.c.TallyFlushes++
@@ -382,6 +425,7 @@ func (r *run) stepOverEvents(res *Result) {
 			nFacet = packSegments(sc.facet, 0, sc.segLo, sc.nKeep[:threads])
 		}
 		res.Phases.FacetKernel += time.Since(t0)
+		r.regionEnd("facet-kernel")
 
 		r.workers[0].c.OERounds++
 		// The logical cost of the paper's naive round: four full-bank
@@ -400,6 +444,7 @@ func (r *run) stepOverEvents(res *Result) {
 	// Census kernel: flush everything that reached census this step. The
 	// census list was gathered round by round, so this visits exactly the
 	// retiring particles instead of sweeping the bank.
+	r.regionStart("tally-kernel")
 	t0 := time.Now()
 	parallelFor(oeWorkers(threads, censusLen), censusLen, oeSchedule, func(w, lo, hi int) {
 		ws := r.workers[w]
@@ -411,6 +456,7 @@ func (r *run) stepOverEvents(res *Result) {
 		ws.busy += time.Since(start)
 	})
 	res.Phases.TallyKernel += time.Since(t0)
+	r.regionEnd("tally-kernel")
 	// The naive scheme's census sweep visits the whole bank once per step.
 	r.workers[0].c.OESlotSweeps += bankN
 }

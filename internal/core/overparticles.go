@@ -16,6 +16,7 @@ import (
 // — "data is cached in registers between events" — and the only
 // synchronisation is the single join at the end of the loop.
 func (r *run) stepOverParticles(res *Result) {
+	r.regionStart("fused")
 	t0 := time.Now()
 	parallelFor(r.cfg.Threads, r.bank.Len(), r.cfg.Schedule, func(w, lo, hi int) {
 		ws := r.workers[w]
@@ -45,6 +46,7 @@ func (r *run) stepOverParticles(res *Result) {
 		ws.busy += time.Since(start)
 	})
 	res.Phases.Fused += time.Since(t0)
+	r.regionEnd("fused")
 }
 
 // history advances one particle until census, death or escape. The loop
@@ -57,8 +59,9 @@ func (r *run) history(ws *workerState, p *particle.Particle) {
 	canLeak := r.canLeak
 	s := p.Stream(r.cfg.Seed)
 
-	// Register-cached state for the whole history.
-	rho := m.Density(int(p.CellX), int(p.CellY))
+	// Register-cached state for the whole history. The density read lands
+	// on the memoised number-density field (see run.ndCache).
+	nd := r.ndCache[m.StorageIndex(int(p.CellX), int(p.CellY))]
 	ws.c.DensityReads++
 	if p.CachedSigmaA < 0 {
 		lookupXS(ws, p)
@@ -66,7 +69,9 @@ func (r *run) history(ws *workerState, p *particle.Particle) {
 	speed := events.Speed(p.Energy)
 
 	for {
-		sigmaT := xs.Macroscopic(p.CachedSigmaA+p.CachedSigmaS, rho)
+		// Bit-identical expansion of xs.Macroscopic over the memoised
+		// factor: ((sigma*B)*nd), the order the function evaluates.
+		sigmaT := (p.CachedSigmaA + p.CachedSigmaS) * xs.BarnsToSquareMetres * nd
 		ev, axis, dir := advance(m, p, sigmaT, speed)
 		ws.c.Segments++
 
@@ -97,11 +102,11 @@ func (r *run) history(ws *workerState, p *particle.Particle) {
 				if events.ApplyFacetReflective(m, p, axis, dir) {
 					ws.c.Reflections++
 				} else {
-					rho = m.Density(int(p.CellX), int(p.CellY))
+					nd = r.ndCache[m.StorageIndex(int(p.CellX), int(p.CellY))]
 					ws.c.DensityReads++
 				}
 			} else if out := events.ApplyFacet(m, p, axis, dir); out == events.FacetCrossed {
-				rho = m.Density(int(p.CellX), int(p.CellY))
+				nd = r.ndCache[m.StorageIndex(int(p.CellX), int(p.CellY))]
 				ws.c.DensityReads++
 			} else if out == events.FacetReflected {
 				ws.c.Reflections++

@@ -1,0 +1,39 @@
+package core
+
+// RegionProbe observes the solver's timed kernel regions — the same regions,
+// under the same canonical kebab-case names, as PhaseTimings.Each reports
+// ("event-kernel", "collision-kernel", "facet-kernel", "tally-kernel",
+// "fused", "merge", "control", "sort"). The intended implementation is a
+// performance-counter collector (internal/perfcount.Collector satisfies the
+// interface structurally; core deliberately does not import it), which turns
+// the per-phase wall times into per-phase cache-miss and instruction counts.
+//
+// Calls arrive on the solver goroutine, outside the parallel worker
+// sections, strictly paired and never nested. A probe may be arbitrarily
+// slow without perturbing per-worker busy times, but it does sit inside the
+// phase wall-time measurement — counter-profiled runs measure counters, not
+// clean walls. A nil probe costs one predictable branch per region.
+type RegionProbe interface {
+	StartRegion(name string)
+	EndRegion(name string)
+}
+
+// SetRegionProbe installs (or, with nil, removes) the kernel-region probe.
+// Like SetTrace, Reset clears it: a reused simulation profiles only if the
+// new owner re-attaches.
+func (s *Simulation) SetRegionProbe(p RegionProbe) { s.r.probe = p }
+
+// regionStart opens a probed region; the hot paths call it at most once per
+// kernel launch, never per particle.
+func (r *run) regionStart(name string) {
+	if r.probe != nil {
+		r.probe.StartRegion(name)
+	}
+}
+
+// regionEnd closes a probed region.
+func (r *run) regionEnd(name string) {
+	if r.probe != nil {
+		r.probe.EndRegion(name)
+	}
+}

@@ -28,12 +28,15 @@ import (
 // counters and admitted banks grown past the source population by
 // weight-window splitting (PR 4); version 4 embeds the scene (canonical
 // JSON, so a checkpoint is self-describing), the birth-weight/energy audit
-// baselines, the per-edge leakage tallies, and the escape counter. Older
+// baselines, the per-edge leakage tallies, and the escape counter; version 5
+// records the mesh storage ordering next to the bank layout (informational,
+// like the layout — tally cells are stored by *logical* index, so a
+// checkpoint taken under one ordering resumes under any other). Older
 // checkpoints are refused with the version error, not misreported as
 // corrupt.
 const (
 	snapshotMagic   = "NEUTSNAP"
-	snapshotVersion = uint32(4)
+	snapshotVersion = uint32(5)
 )
 
 // ErrSnapshotCorrupt reports a snapshot that failed structural validation:
@@ -220,8 +223,8 @@ func (r *snapshotReader) readParticle(p *particle.Particle) {
 //	scene: len:u32 then canonical JSON bytes
 //	audit: birthWeight:f64 birthEnergy:f64
 //	leakage: 4 edge weights then 4 edge energies, f64 each
-//	bank: layout:u8 n:u64 then n canonical particle records
-//	tally: nonzero:u64 then (cell:u64 value:f64) pairs
+//	bank: layout:u8 ordering:u8 n:u64 then n canonical particle records
+//	tally: nonzero:u64 then (logical cell:u64 value:f64) pairs
 //	crc32(payload):u32
 func (s *Simulation) Snapshot() []byte {
 	r := s.r
@@ -272,6 +275,7 @@ func (s *Simulation) Snapshot() []byte {
 	}
 
 	w.u8(uint8(r.bank.Layout()))
+	w.u8(uint8(r.mesh.Ordering()))
 	w.u64(uint64(r.bank.Len()))
 	var p particle.Particle
 	for i := 0; i < r.bank.Len(); i++ {
@@ -281,8 +285,10 @@ func (s *Simulation) Snapshot() []byte {
 
 	// Sparse tally: deposition concentrates around the source, so most
 	// cells of a large mesh are zero and storing (cell, value) pairs
-	// beats a dense dump. Null tallies serialise as empty.
-	cells := r.tly.Cells()
+	// beats a dense dump. Null tallies serialise as empty. Cells are keyed
+	// by logical index whatever the storage ordering, so checkpoints are
+	// portable across orderings.
+	cells := r.tallyCellsLogical()
 	nonzero := uint64(0)
 	for _, v := range cells {
 		if v != 0 {
@@ -393,6 +399,7 @@ func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
 	}
 
 	_ = rd.u8() // layout the snapshot was taken under; informational
+	_ = rd.u8() // mesh ordering it was taken under; informational
 	n := rd.u64()
 	if rd.bad {
 		return nil, fmt.Errorf("%w: truncated bank header", ErrSnapshotCorrupt)
@@ -452,8 +459,11 @@ func RestoreSimulation(cfg Config, data []byte) (*Simulation, error) {
 			return nil, fmt.Errorf("%w: tally cell %d outside %d-cell mesh", ErrSnapshotCorrupt, cell, cells)
 		}
 		// Depositing into a zeroed tally reproduces the stored value
-		// exactly (0 + v = v), for every tally implementation.
-		r.tly.Add(0, int(cell), v)
+		// exactly (0 + v = v), for every tally implementation. Stored
+		// cells are logical; the restoring run's ordering decides where
+		// they live.
+		cx, cy := int(cell)%r.mesh.NX, int(cell)/r.mesh.NX
+		r.tly.Add(0, r.mesh.StorageIndex(cx, cy), v)
 	}
 	if rd.off != len(payload) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(payload)-rd.off)

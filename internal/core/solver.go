@@ -81,6 +81,10 @@ type workerState struct {
 	capCur  *xs.Cursor
 	scatCur *xs.Cursor
 	busy    time.Duration
+	// pfSink anchors the event kernel's prefetch touches: accumulating
+	// the touched bytes into worker state keeps the ahead-of-loop loads
+	// from being dead-code-eliminated. The value itself is meaningless.
+	pfSink uint64
 }
 
 // run holds the solver state for one configuration.
@@ -121,6 +125,43 @@ type run struct {
 	// boundary-condition-aware one.
 	canLeak bool
 
+	// logicalCells is the reusable scratch behind tallyCellsLogical: the
+	// tally remapped from storage order to the logical row-major order
+	// every external view speaks. Nil until a non-row-major run first asks.
+	logicalCells []float64
+
+	// sortKeys/sortPerm are the reusable scratch of the periodic bank sort
+	// (SortEvery): packed (cell key, slot) values and the permutation the
+	// sort hands to Bank.Permute.
+	sortKeys []uint64
+	sortPerm []int32
+
+	// speedCache memoises events.Speed(Energy) per bank slot for the Over
+	// Events event kernel: a particle's speed is constant between
+	// collisions, and the kernel otherwise pays the sqrt on every one of
+	// its ~1 segment per round. Zero means "recompute". The cache is
+	// cleared at the start of every Over Events step — slots move only at
+	// step boundaries (bank sort, splitting), so mid-step the only
+	// invalidation is the collision kernel zeroing the slots it changed
+	// the energy of. Values are derived data, never snapshotted: a restore
+	// recomputes them, so the cache cannot change any observable result.
+	speedCache []float64
+
+	// ndCache memoises xs.NumberDensity over the mesh cells, in storage
+	// order. The number density is the only use the transport kernels
+	// have for a cell's mass density, and the conversion carries an FP
+	// divide; converting once per cell at build time instead of once per
+	// segment deletes that divide from the hot loops while leaving every
+	// sigmaT bit-identical — the kernels multiply the memoised factor in
+	// the exact order xs.Macroscopic evaluates. Densities are painted
+	// only at (re)build time, so the cache needs no invalidation.
+	ndCache []float64
+
+	// probe, when non-nil, observes the timed kernel regions (see
+	// RegionProbe). Nil-guarded at every site: a disabled probe costs one
+	// branch per kernel launch.
+	probe RegionProbe
+
 	// Cancellation and progress plumbing (RunCtx). stop is polled from
 	// the hot loops and stays read-only until a cancel, so the padding
 	// keeps it off the cache line of the counters the workers write.
@@ -160,6 +201,10 @@ func newRun(cfg Config, populate bool) (*run, error) {
 	if cfg.CustomDensity != nil {
 		cfg.CustomDensity(m)
 	}
+	// Storage ordering is applied after the scene paint and density hook:
+	// both speak logical coordinates, so they never need to know where a
+	// cell's value lives.
+	m.SetOrdering(cfg.Ordering)
 	r := &run{
 		cfg:     cfg,
 		mesh:    m,
@@ -174,6 +219,7 @@ func newRun(cfg Config, populate bool) (*run, error) {
 		tly:  tally.New(cfg.Tally, m.NumCells(), cfg.Threads),
 	}
 	r.canLeak = m.HasVacuum()
+	r.buildNDCache()
 	r.buildWorkers()
 	if cfg.Scheme == OverEvents {
 		r.ensureOE()
@@ -219,6 +265,22 @@ func (r *run) escape(ws *workerState, p *particle.Particle, axis, dir int) {
 // so replica families never overlap.
 func (r *run) idBase() uint64 {
 	return uint64(r.cfg.Replica) * uint64(r.cfg.Particles)
+}
+
+// buildNDCache fills ndCache (see the field comment) from the mesh the run
+// was just (re)built around. Storage-indexed, so the kernels address it with
+// the same StorageIndex mapping they use for the tally.
+func (r *run) buildNDCache() {
+	m := r.mesh
+	if cap(r.ndCache) < m.NumCells() {
+		r.ndCache = make([]float64, m.NumCells())
+	}
+	r.ndCache = r.ndCache[:m.NumCells()]
+	for cy := 0; cy < m.NY; cy++ {
+		for cx := 0; cx < m.NX; cx++ {
+			r.ndCache[m.StorageIndex(cx, cy)] = xs.NumberDensity(m.Density(cx, cy))
+		}
+	}
 }
 
 // buildWorkers allocates fresh per-worker state (counters and cursors) over
@@ -343,15 +405,16 @@ func (s *Simulation) Progress() Progress { return s.r.progress() }
 func (s *Simulation) Elapsed() time.Duration { return s.res.Wall }
 
 // TallyTotal reports the energy deposited so far, in weight-eV.
-func (s *Simulation) TallyTotal() float64 { return s.r.tly.Total() }
+func (s *Simulation) TallyTotal() float64 { return s.r.tallyTotal() }
 
 // TallyCells returns the live per-cell tally at the current step boundary
-// (merged for privatised tallies, nil for the null tally). The slice is
+// (merged for privatised tallies, nil for the null tally), indexed by
+// logical row-major cell index whatever the storage ordering. The slice is
 // owned by the simulation and invalidated by the next Step or Reset; callers
 // needing a stable copy must take one (or run with Config.KeepCells). The
 // ensemble driver folds it into its accumulators in place, so replicas add
 // zero per-replica tally allocations.
-func (s *Simulation) TallyCells() []float64 { return s.r.tly.Cells() }
+func (s *Simulation) TallyCells() []float64 { return s.r.tallyCellsLogical() }
 
 // Population tallies the bank by particle status.
 func (s *Simulation) Population() (alive, census, dead int) {
@@ -393,6 +456,12 @@ func (s *Simulation) Step() error {
 		// stay bit-identical under the window.
 		r.controlStep(s.res)
 	}
+	if cfg.SortEvery > 0 && s.next%cfg.SortEvery == 0 {
+		// Periodic cell sort at the boundary, after population control so
+		// freshly split children are sorted too. Shared serial code like
+		// the control step, so the schemes stay bit-identical under it.
+		r.sortStep(s.res)
+	}
 	r.step.Store(int64(s.next))
 	switch cfg.Scheme {
 	case OverParticles:
@@ -407,9 +476,11 @@ func (s *Simulation) Step() error {
 		return ErrInterrupted
 	}
 	if cfg.Tally == tally.ModePrivate && cfg.MergePerStep {
+		r.regionStart("merge")
 		t0 := time.Now()
 		r.tly.(*tally.Private).Merge()
 		s.res.Phases.Merge += time.Since(t0)
+		r.regionEnd("merge")
 	}
 	s.res.Wall += time.Since(start)
 	s.next++
@@ -550,6 +621,9 @@ func (s *Simulation) Reset(cfg Config) error {
 		r.mesh = m
 		r.ctx.Mesh = m
 	}
+	// A reused mesh may carry the previous config's storage order;
+	// SetOrdering re-permutes the field in place (no-op when unchanged).
+	r.mesh.SetOrdering(cfg.Ordering)
 	r.sources = runSources(cfg)
 
 	if cfg.XSPoints != old.XSPoints {
@@ -574,6 +648,7 @@ func (s *Simulation) Reset(cfg Config) error {
 	}
 	r.cfg = cfg
 	r.canLeak = r.mesh.HasVacuum()
+	r.buildNDCache()
 	r.buildWorkers() // fresh counters and cursors, as newRun would
 	if cfg.Scheme == OverEvents {
 		r.ensureOE() // reuses prior scratch when it still fits
@@ -598,6 +673,7 @@ func (s *Simulation) Reset(cfg Config) error {
 	s.trace = nil
 	s.traceWall = 0
 	s.tracePrev = PhaseTimings{}
+	r.probe = nil
 	return nil
 }
 
@@ -645,8 +721,10 @@ func (r *run) finish(res *Result) {
 		res.WorkerBusy[w] = ws.busy
 	}
 
-	// Conservation audit (meaningless for the null tally).
-	res.TallyTotal = r.tly.Total()
+	// Conservation audit (meaningless for the null tally). The total is
+	// summed in logical cell order so it is bit-identical across storage
+	// orderings.
+	res.TallyTotal = r.tallyTotal()
 	inFlight := r.bank.TotalEnergy()
 	leaked := res.Leakage.TotalEnergy()
 	res.Conservation = Conservation{
@@ -676,7 +754,7 @@ func (r *run) finish(res *Result) {
 	}
 
 	if cfg.KeepCells && cfg.Tally != tally.ModeNull {
-		res.Cells = append([]float64(nil), r.tly.Cells()...)
+		res.Cells = append([]float64(nil), r.tallyCellsLogical()...)
 	}
 	if cfg.KeepBank {
 		res.Bank = r.bank
@@ -714,7 +792,7 @@ func (r *run) reviveCensus() int {
 // counter, not the elided CAS.
 func (r *run) flush(ws *workerState, p *particle.Particle) {
 	if p.Deposit != 0 {
-		cell := r.mesh.Index(int(p.CellX), int(p.CellY))
+		cell := r.mesh.StorageIndex(int(p.CellX), int(p.CellY))
 		r.tly.Add(ws.id, cell, p.Deposit)
 		p.Deposit = 0
 	}
@@ -728,7 +806,7 @@ func (r *run) flush(ws *workerState, p *particle.Particle) {
 func (r *run) flushSlot(ws *workerState, i int) {
 	cx, cy, dep := r.bank.FlushDeposit(i)
 	if dep != 0 {
-		r.tly.Add(ws.id, r.mesh.Index(int(cx), int(cy)), dep)
+		r.tly.Add(ws.id, r.mesh.StorageIndex(int(cx), int(cy)), dep)
 	}
 	ws.c.TallyFlushes++
 }

@@ -28,24 +28,37 @@ func BenchmarkUninterruptedSolve(b *testing.B) {
 
 // BenchmarkOverEvents times the compacted Over Events scheme at the exact
 // default configuration (the BENCH_pr3.json acceptance point), for both
-// bank layouts, reporting the active fraction — the share of the naive
-// scheme's slot sweeps that touched in-flight work — alongside ns/op.
+// bank layouts crossed with the locality strategies of DESIGN.md §15
+// (row-major storage versus Morton ordering plus the cell-sorted bank),
+// reporting the active fraction — the share of the naive scheme's slot
+// sweeps that touched in-flight work — alongside ns/op.
 func BenchmarkOverEvents(b *testing.B) {
 	for _, layout := range []particle.Layout{particle.AoS, particle.SoA} {
-		b.Run(fmt.Sprintf("layout=%v", layout), func(b *testing.B) {
-			cfg := Default(mesh.CSP)
-			cfg.Scheme = OverEvents
-			cfg.Layout = layout
-			var frac float64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res, err := Run(cfg)
-				if err != nil {
-					b.Fatal(err)
+		for _, loc := range []struct {
+			name string
+			ord  mesh.Ordering
+			sort int
+		}{
+			{"row-major", mesh.RowMajor, 0},
+			{"morton+sort", mesh.Morton, 1},
+		} {
+			b.Run(fmt.Sprintf("layout=%v/%s", layout, loc.name), func(b *testing.B) {
+				cfg := Default(mesh.CSP)
+				cfg.Scheme = OverEvents
+				cfg.Layout = layout
+				cfg.Ordering = loc.ord
+				cfg.SortEvery = loc.sort
+				var frac float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					frac = res.Counter.OEActiveFraction()
 				}
-				frac = res.Counter.OEActiveFraction()
-			}
-			b.ReportMetric(frac, "active-fraction")
-		})
+				b.ReportMetric(frac, "active-fraction")
+			})
+		}
 	}
 }

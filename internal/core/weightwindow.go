@@ -185,8 +185,10 @@ func (r *run) populationControl() int {
 // controlStep runs the population-control pass and updates the step's
 // progress accounting; Step calls it when the window is enabled.
 func (r *run) controlStep(res *Result) {
+	r.regionStart("control")
 	t0 := time.Now()
 	alive := r.populationControl()
 	r.stepTotal.Store(int64(alive))
 	res.Phases.Control += time.Since(t0)
+	r.regionEnd("control")
 }

@@ -15,8 +15,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("harness experiments take a few seconds")
 	}
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("registered %d experiments, want 17 (figs 3-14 + 4 in-text + ensemble)", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("registered %d experiments, want 18 (figs 3-14 + 4 in-text + ensemble + cache)", len(exps))
 	}
 	for _, e := range exps {
 		e := e

@@ -1,7 +1,10 @@
 package harness
 
 import (
+	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/archmodel"
@@ -100,22 +103,105 @@ var problems = []mesh.Problem{mesh.Stream, mesh.Scatter, mesh.CSP}
 // runNative measures a native configuration, returning the fastest of
 // three runs: single measurements of sub-100ms runs are noisy on shared
 // hosts, and the paper's wallclock comparisons assume steady-state timings.
-// Every run (repeats included) is recorded in the harness metrics registry.
+// Every run (repeats included) is recorded in the harness metrics registry
+// and in the run log that backs the -json variance report.
 func runNative(cfg core.Config) (*core.Result, error) {
 	best, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
 	recordNative(best)
+	logRun(best)
 	for i := 0; i < 2; i++ {
 		again, err := core.Run(cfg)
 		if err != nil {
 			return nil, err
 		}
 		recordNative(again)
+		logRun(again)
 		if again.Wall < best.Wall {
 			best = again
 		}
 	}
 	return best, nil
+}
+
+// RunStat summarises the repeat runs of one native configuration: the
+// figures report the fastest run, and this carries the spread behind that
+// number so a CI trend can tell a real regression from host noise.
+type RunStat struct {
+	Label         string  `json:"label"`
+	Runs          int     `json:"runs"`
+	MinSeconds    float64 `json:"min_seconds"`
+	MedianSeconds float64 `json:"median_seconds"`
+	StddevSeconds float64 `json:"stddev_seconds"`
+}
+
+var (
+	runLogMu sync.Mutex
+	runLog   = map[string][]float64{}
+)
+
+// runLabel names a configuration for the run log. Scheme, layout, ordering
+// and mesh size separate the interesting axes; two experiments that run the
+// same configuration pool their samples, which is the point — more samples,
+// tighter spread.
+func runLabel(cfg core.Config) string {
+	label := fmt.Sprintf("%s/%s/%s/%dx%d/n%d",
+		cfg.Problem, cfg.Scheme, cfg.Layout, cfg.NX, cfg.NY, cfg.Particles)
+	if cfg.Ordering != mesh.RowMajor {
+		label += "/" + cfg.Ordering.String()
+	}
+	if cfg.SortEvery > 0 {
+		label += fmt.Sprintf("/sort%d", cfg.SortEvery)
+	}
+	if cfg.Threads > 0 {
+		label += fmt.Sprintf("/t%d", cfg.Threads)
+	}
+	return label
+}
+
+func logRun(res *core.Result) {
+	runLogMu.Lock()
+	defer runLogMu.Unlock()
+	key := runLabel(res.Config)
+	runLog[key] = append(runLog[key], res.Wall.Seconds())
+}
+
+// RunStats returns min/median/stddev per native configuration, sorted by
+// label, aggregated over every native run since process start.
+func RunStats() []RunStat {
+	runLogMu.Lock()
+	defer runLogMu.Unlock()
+	out := make([]RunStat, 0, len(runLog))
+	for label, walls := range runLog {
+		s := append([]float64(nil), walls...)
+		sort.Float64s(s)
+		n := len(s)
+		median := s[n/2]
+		if n%2 == 0 {
+			median = (s[n/2-1] + s[n/2]) / 2
+		}
+		var mean, sq float64
+		for _, w := range s {
+			mean += w
+		}
+		mean /= float64(n)
+		for _, w := range s {
+			sq += (w - mean) * (w - mean)
+		}
+		var stddev float64
+		if n > 1 {
+			stddev = math.Sqrt(sq / float64(n-1))
+		}
+		out = append(out, RunStat{
+			Label:         label,
+			Runs:          n,
+			MinSeconds:    s[0],
+			MedianSeconds: median,
+			StddevSeconds: stddev,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
 }

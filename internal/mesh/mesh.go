@@ -96,6 +96,15 @@ type Mesh struct {
 	DX, DY        float64 // cell pitch in metres
 	density       []float64
 	bc            [NumEdges]BC // all Reflective unless SetEdgeBC says otherwise
+
+	// Storage-order state (see Ordering): row-major unless SetOrdering says
+	// otherwise. mortonX/mortonY are the per-axis spread tables of the
+	// closed-form interleave on power-of-two meshes (code = mortonX[cx] |
+	// mortonY[cy]); toStorage is the rank table for other shapes.
+	ord       Ordering
+	mortonX   []uint32
+	mortonY   []uint32
+	toStorage []int32
 }
 
 // New allocates a mesh with every cell set to the given density.
@@ -144,7 +153,10 @@ func (m *Mesh) HasVacuum() bool {
 	return false
 }
 
-// Index maps (cx, cy) cell coordinates to the flat cell index.
+// Index maps (cx, cy) cell coordinates to the flat *logical* cell index —
+// always row-major, independent of the storage ordering. Externally visible
+// per-cell views (tally slices, snapshots, heat maps) are keyed by this
+// index; StorageIndex maps to where the value actually lives.
 func (m *Mesh) Index(cx, cy int) int { return cy*m.NX + cx }
 
 // CellOf maps a position to its containing cell, clamping positions on the
@@ -169,15 +181,19 @@ func (m *Mesh) CellOf(x, y float64) (cx, cy int) {
 // Density returns the mass density of cell (cx, cy) in kg/m^3. This is the
 // random-access read the paper identifies as a primary latency bottleneck.
 func (m *Mesh) Density(cx, cy int) float64 {
-	return m.density[cy*m.NX+cx]
+	if m.ord == RowMajor {
+		return m.density[cy*m.NX+cx]
+	}
+	return m.density[m.mortonIndex(cx, cy)]
 }
 
-// DensityAt returns the density at flat index i.
+// DensityAt returns the density at flat *storage* index i; whole-field scans
+// that do not care where a value came from (peak-density searches) use it.
 func (m *Mesh) DensityAt(i int) float64 { return m.density[i] }
 
 // SetDensity overwrites the density of cell (cx, cy).
 func (m *Mesh) SetDensity(cx, cy int, rho float64) {
-	m.density[cy*m.NX+cx] = rho
+	m.density[m.StorageIndex(cx, cy)] = rho
 }
 
 // SetRegion fills the axis-aligned box of cells [cx0,cx1) x [cy0,cy1) with
@@ -195,10 +211,18 @@ func (m *Mesh) SetRegion(cx0, cy0, cx1, cy1 int, rho float64) {
 	if cy1 > m.NY {
 		cy1 = m.NY
 	}
+	if m.ord == RowMajor {
+		for cy := cy0; cy < cy1; cy++ {
+			row := m.density[cy*m.NX : (cy+1)*m.NX]
+			for cx := cx0; cx < cx1; cx++ {
+				row[cx] = rho
+			}
+		}
+		return
+	}
 	for cy := cy0; cy < cy1; cy++ {
-		row := m.density[cy*m.NX : (cy+1)*m.NX]
 		for cx := cx0; cx < cx1; cx++ {
-			row[cx] = rho
+			m.density[m.mortonIndex(cx, cy)] = rho
 		}
 	}
 }

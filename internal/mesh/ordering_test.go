@@ -1,0 +1,138 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMortonBijection checks that StorageIndex under Morton ordering is a
+// bijection [0,NX) x [0,NY) -> [0, NX*NY) on meshes of every shape class:
+// square and rectangular powers of two (closed-form interleave), non-powers
+// of two and mixed shapes (rank table), and degenerate single-row/column
+// meshes.
+func TestMortonBijection(t *testing.T) {
+	shapes := [][2]int{
+		{64, 64}, {512, 128}, {4, 256}, // pow2: closed form
+		{7, 13}, {100, 3}, {65, 64}, {33, 127}, // non-pow2: rank table
+		{1, 17}, {19, 1}, {1, 1}, // degenerate
+	}
+	for _, sh := range shapes {
+		nx, ny := sh[0], sh[1]
+		m, err := New(nx, ny, 1, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetOrdering(Morton)
+		seen := make([]bool, nx*ny)
+		for cy := 0; cy < ny; cy++ {
+			for cx := 0; cx < nx; cx++ {
+				s := m.StorageIndex(cx, cy)
+				if s < 0 || s >= nx*ny {
+					t.Fatalf("%dx%d: storage index %d for (%d,%d) out of range", nx, ny, s, cx, cy)
+				}
+				if seen[s] {
+					t.Fatalf("%dx%d: storage index %d hit twice (at %d,%d)", nx, ny, s, cx, cy)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+// TestMortonLocality pins the defining property of the closed-form curve:
+// on a power-of-two mesh every aligned 2x2 block is storage-contiguous.
+func TestMortonLocality(t *testing.T) {
+	m, err := New(64, 64, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetOrdering(Morton)
+	for cy := 0; cy < 64; cy += 2 {
+		for cx := 0; cx < 64; cx += 2 {
+			base := m.StorageIndex(cx, cy)
+			if base%4 != 0 {
+				t.Fatalf("2x2 block at (%d,%d) not 4-aligned: %d", cx, cy, base)
+			}
+			got := [4]int{
+				m.StorageIndex(cx, cy), m.StorageIndex(cx+1, cy),
+				m.StorageIndex(cx, cy+1), m.StorageIndex(cx+1, cy+1),
+			}
+			want := [4]int{base, base + 1, base + 2, base + 3}
+			if got != want {
+				t.Fatalf("2x2 block at (%d,%d): %v, want %v", cx, cy, got, want)
+			}
+		}
+	}
+}
+
+// TestSetOrderingPreservesField checks that re-storing the density field
+// under another ordering never changes a logical cell's value, through a
+// full RowMajor -> Morton -> RowMajor round trip on an awkward shape.
+func TestSetOrderingPreservesField(t *testing.T) {
+	const nx, ny = 37, 22
+	m, err := New(nx, ny, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	want := make([]float64, nx*ny)
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			want[cy*nx+cx] = r.Float64()
+			m.SetDensity(cx, cy, want[cy*nx+cx])
+		}
+	}
+	check := func(stage string) {
+		t.Helper()
+		for cy := 0; cy < ny; cy++ {
+			for cx := 0; cx < nx; cx++ {
+				if got := m.Density(cx, cy); got != want[cy*nx+cx] {
+					t.Fatalf("%s: density(%d,%d) = %g, want %g", stage, cx, cy, got, want[cy*nx+cx])
+				}
+			}
+		}
+	}
+	m.SetOrdering(Morton)
+	check("after morton")
+	// Painting through the logical accessors must land correctly under the
+	// new ordering too.
+	m.SetRegion(3, 5, 11, 9, 7.5)
+	for cy := 5; cy < 9; cy++ {
+		for cx := 3; cx < 11; cx++ {
+			want[cy*nx+cx] = 7.5
+		}
+	}
+	check("after region paint under morton")
+	m.SetOrdering(RowMajor)
+	check("after round trip")
+	// Back under row-major, storage and logical indices coincide again.
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			if m.StorageIndex(cx, cy) != m.Index(cx, cy) {
+				t.Fatalf("row-major storage index diverged at (%d,%d)", cx, cy)
+			}
+		}
+	}
+}
+
+// TestParseOrdering covers the flag vocabulary.
+func TestParseOrdering(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Ordering
+	}{
+		{"", RowMajor}, {"row-major", RowMajor}, {"rowmajor", RowMajor},
+		{"morton", Morton}, {"z-order", Morton}, {"zorder", Morton},
+	} {
+		got, err := ParseOrdering(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseOrdering(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseOrdering("hilbert"); err == nil {
+		t.Error("ParseOrdering accepted an unknown ordering")
+	}
+	if RowMajor.String() != "row-major" || Morton.String() != "morton" {
+		t.Error("Ordering.String drifted from the flag vocabulary")
+	}
+}

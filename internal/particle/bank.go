@@ -2,6 +2,7 @@ package particle
 
 import (
 	"fmt"
+	"math"
 	"unsafe"
 )
 
@@ -278,6 +279,20 @@ func (b *Bank) StoreKinematics(i int, p *Particle) {
 	b.xsIndex[i] = p.XSIndex
 }
 
+// TouchSlot reads one field from each cache line of slot i's kinematic
+// state and folds the bytes into a value the caller must keep live — a
+// portable software prefetch for kernels that know which slot they will
+// visit a few iterations ahead. AoS touches both lines of the record; SoA
+// touches the two columns the event kernel's address computations need
+// first.
+func (b *Bank) TouchSlot(i int) uint64 {
+	if b.layout == AoS {
+		p := &b.aos[i]
+		return math.Float64bits(p.X) + uint64(p.CellX)
+	}
+	return math.Float64bits(b.x[i]) + uint64(b.cellX[i])
+}
+
 // Ref returns a pointer to slot i's record for in-place access when the
 // layout stores whole records (AoS), and nil for SoA. In-place access skips
 // the two record copies a Load/Store round-trip costs; callers must fall
@@ -371,6 +386,41 @@ func (b *Bank) NegateUAxis(i, axis int) {
 		b.ux[i] = -b.ux[i]
 	} else {
 		b.uy[i] = -b.uy[i]
+	}
+}
+
+// Permute rearranges the bank so slot i holds the record previously in slot
+// perm[i]. perm must be a permutation of [0, Len()); it is consumed (every
+// entry is overwritten with -1) by the call. Both layouts permute through the
+// canonical Load/Store record path, cycle by cycle, so the pass costs one
+// record move per slot and no bank-sized scratch — the periodic cell-sort
+// pass runs it once per controlled timestep on banks up to paper scale.
+func (b *Bank) Permute(perm []int32) {
+	if len(perm) != b.n {
+		panic(fmt.Sprintf("particle: permutation length %d over %d-slot bank", len(perm), b.n))
+	}
+	var hold, tmp Particle
+	for start := range perm {
+		src := perm[start]
+		if src < 0 || int(src) == start {
+			perm[start] = -1
+			continue
+		}
+		// Walk the cycle: each slot is read just before it is written, so
+		// one held record suffices.
+		b.Load(start, &hold)
+		j := start
+		for {
+			perm[j] = -1
+			if int(src) == start {
+				b.Store(j, &hold)
+				break
+			}
+			b.Load(int(src), &tmp)
+			b.Store(j, &tmp)
+			j = int(src)
+			src = perm[j]
+		}
 	}
 }
 

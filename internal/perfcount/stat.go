@@ -1,0 +1,45 @@
+package perfcount
+
+import (
+	"os/exec"
+	"strings"
+)
+
+// statNames maps this package's event names onto the perf(1) event
+// vocabulary, for the external-tool fallback.
+var statNames = map[string]string{
+	"cycles":           "cycles",
+	"instructions":     "instructions",
+	"branch-misses":    "branch-misses",
+	"l1d-loads":        "L1-dcache-loads",
+	"l1d-load-misses":  "L1-dcache-load-misses",
+	"llc-loads":        "LLC-loads",
+	"llc-load-misses":  "LLC-load-misses",
+	"task-clock":       "task-clock",
+	"page-faults":      "page-faults",
+	"context-switches": "context-switches",
+}
+
+// StatArgv is the external fallback for systems where the syscall interface
+// is blocked (seccomp) but the perf(1) binary works: it returns argv wrapped
+// in a `perf stat` invocation counting the given events, machine-readable
+// (CSV via -x,). It fails with ErrUnsupported when no perf binary is on
+// PATH — the same skip signal as the in-process path — so callers can chain
+// the two mechanisms without special cases.
+func StatArgv(events []Event, argv ...string) ([]string, error) {
+	perf, err := exec.LookPath("perf")
+	if err != nil {
+		return nil, ErrUnsupported
+	}
+	names := make([]string, 0, len(events))
+	for _, ev := range events {
+		if n, ok := statNames[ev.Name]; ok {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, ErrUnsupported
+	}
+	out := []string{perf, "stat", "-x,", "-e", strings.Join(names, ",")}
+	return append(out, argv...), nil
+}

@@ -1,0 +1,6 @@
+//go:build linux && amd64
+
+package perfcount
+
+// perf_event_open's syscall number on x86-64.
+const sysPerfEventOpen = 298

@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package perfcount
+
+// perf_event_open's syscall number on aarch64.
+const sysPerfEventOpen = 241

@@ -103,7 +103,9 @@ func ParseMode(s string) (Mode, error) {
 func New(mode Mode, cells, workers int) Tally {
 	switch mode {
 	case ModeAtomic:
-		return NewAtomic(cells)
+		a := NewAtomic(cells)
+		a.serial = workers == 1
+		return a
 	case ModePrivate:
 		return NewPrivate(cells, workers)
 	case ModeSerial:
@@ -111,7 +113,9 @@ func New(mode Mode, cells, workers int) Tally {
 	case ModeNull:
 		return Null{}
 	case ModeBuffered:
-		return NewBuffered(NewAtomic(cells), workers)
+		b := NewAtomic(cells)
+		b.serial = workers == 1
+		return NewBuffered(b, workers)
 	default:
 		panic(fmt.Sprintf("tally: unknown mode %v", mode))
 	}
@@ -135,6 +139,12 @@ type Atomic struct {
 	// contention ("the atomic operations conflict less often", §VII-A).
 	conflicts atomic.Uint64
 	scratch   []float64
+	// serial marks a tally with exactly one writer (workers == 1): Add
+	// skips the lock-prefixed CAS for a plain read-modify-write, which
+	// computes the identical sum in the identical order — an uncontended
+	// CAS always succeeds on the first try — without the ~20-cycle
+	// serialisation tax per deposit.
+	serial bool
 }
 
 // NewAtomic allocates an atomic tally over cells cells.
@@ -142,9 +152,14 @@ func NewAtomic(cells int) *Atomic {
 	return &Atomic{bits: make([]uint64, cells), scratch: make([]float64, cells)}
 }
 
-// Add deposits v into cell with a CAS loop.
+// Add deposits v into cell with a CAS loop (plain read-modify-write for a
+// single-writer tally — same bits, no lock prefix).
 func (a *Atomic) Add(_, cell int, v float64) {
 	addr := &a.bits[cell]
+	if a.serial {
+		*addr = math.Float64bits(math.Float64frombits(*addr) + v)
+		return
+	}
 	for {
 		old := atomic.LoadUint64(addr)
 		new := math.Float64bits(math.Float64frombits(old) + v)

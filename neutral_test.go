@@ -144,8 +144,8 @@ func TestPredictDevices(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 17 {
-		t.Fatalf("%d experiments, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("%d experiments, want 18", len(ids))
 	}
 	fig, err := RunExperiment("text-search", "quick")
 	if err != nil {
